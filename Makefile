@@ -1,0 +1,14 @@
+# LBRM reproduction — developer entry points.
+
+.PHONY: test bench examples lint all
+
+test:
+	pytest tests/
+
+bench:
+	pytest benchmarks/ --benchmark-only
+
+examples:
+	for ex in examples/*.py; do echo "== $$ex =="; python $$ex; done
+
+all: test bench

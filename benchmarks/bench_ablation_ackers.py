@@ -1,0 +1,94 @@
+"""Ablation — how many Designated Ackers?  (§2.3.1: "analysis suggests
+that between 5 and 20 ACKs is appropriate.")
+
+Sweep k and measure, at 50 sites with a single-site loss pattern:
+
+* false re-multicast rate (source multicasts though only one site lost),
+* missed widespread loss (source fails to re-multicast though 60% of
+  sites lost the packet),
+* per-packet ACK overhead.
+
+Small k is cheap but statistically blind; large k approaches per-site
+acking.  The paper's 5–20 band should show both failure modes tamed.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.report import format_table
+from repro.core.config import LbrmConfig, StatAckConfig
+from repro.simnet import BurstLoss, DeploymentSpec, LbrmDeployment
+
+N_SITES = 50
+KS = [2, 5, 10, 20, 40]
+ROUNDS = 8
+
+
+def run_k(k: int, seed=17):
+    cfg = LbrmConfig(statack=StatAckConfig(k_ackers=k, epoch_length=1000))
+    dep = LbrmDeployment(DeploymentSpec(
+        n_sites=N_SITES, receivers_per_site=1, enable_statack=True, config=cfg, seed=seed,
+    ))
+    dep.start()
+    dep.advance(3.0)
+    sa = dep.sender.statack
+
+    # Phase 1: isolated single-site losses. A re-multicast here is a
+    # false positive (unicast recovery would have been right).
+    false_remulticasts = 0
+    for round_ in range(ROUNDS):
+        now = dep.sim.now
+        dep.network.site(f"site{(round_ % N_SITES) + 1}").tail_down.loss = BurstLoss(
+            [(now, now + 0.05)]
+        )
+        before = sa.stats["remulticasts"]
+        dep.send(b"isolated")
+        dep.advance(1.0)
+        false_remulticasts += sa.stats["remulticasts"] - before
+
+    # Phase 2: widespread loss (60% of sites). The source is "blind" when
+    # it takes NO proactive action at all (neither a re-multicast nor
+    # unicasts to missing ackers): recovery then degrades to a NACK storm.
+    missed_widespread = 0
+    for round_ in range(ROUNDS):
+        now = dep.sim.now
+        for i in range(1, int(N_SITES * 0.6) + 1):
+            dep.network.site(f"site{i}").tail_down.loss = BurstLoss([(now, now + 0.05)])
+        before_m = sa.stats["remulticasts"]
+        before_u = sa.stats["unicast_retransmits"]
+        dep.send(b"widespread")
+        dep.advance(1.0)
+        if sa.stats["remulticasts"] == before_m and sa.stats["unicast_retransmits"] == before_u:
+            missed_widespread += 1
+
+    acks_per_packet = sa.stats["acks_received"] / max(dep.sender.stats["data_sent"], 1)
+    return false_remulticasts, missed_widespread, acks_per_packet
+
+
+def test_ablation_designated_ackers(benchmark, report):
+    def sweep():
+        return [(k, *run_k(k)) for k in KS]
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    text = (
+        f"# Ablation: Designated Acker count k ({N_SITES} sites, {ROUNDS} isolated-loss "
+        f"and {ROUNDS} widespread-loss rounds)\n"
+    )
+    text += format_table(
+        ["k", "false re-multicasts (isolated loss)", "missed re-multicasts (widespread)", "acks/packet"],
+        [(k, f, m, f"{a:.1f}") for k, f, m, a in rows],
+    )
+    text += "\npaper guidance: k in [5, 20]"
+    report("ablation_ackers", text)
+
+    by_k = {k: (f, m, a) for k, f, m, a in rows}
+    # Overhead grows with k.
+    acks = [a for _, _, _, a in rows]
+    assert acks == sorted(acks)
+    # In the paper's recommended band, widespread losses are essentially
+    # never missed.
+    for k in (10, 20):
+        assert by_k[k][1] <= 1
+    # Tiny k is blind to widespread loss more often than the recommended band.
+    assert by_k[2][1] >= by_k[20][1]

@@ -1,0 +1,78 @@
+"""§1/§5 — ACK implosion: positive-ACK multicast vs LBRM statistical acking.
+
+A conventional sender-reliable protocol draws one ACK per receiver per
+packet; LBRM's source hears from k Designated Ackers regardless of group
+size.  We sweep the receiver count and report per-packet ACK load at the
+source.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.report import format_table
+from repro.baselines.senderreliable import PosAckReceiver, PosAckSender
+from repro.core.config import LbrmConfig, StatAckConfig
+from repro.simnet import DeploymentSpec, LbrmDeployment, Network, RngStreams, SimNode, Simulator
+
+SWEEP = [10, 50, 100, 250]
+K_ACKERS = 10
+N_PACKETS = 5
+
+
+def posack_load(n_receivers: int, seed=4) -> float:
+    sim = Simulator()
+    net = Network(sim, streams=RngStreams(seed))
+    s0 = net.add_site("s0")
+    s1 = net.add_site("s1")
+    src_host = net.add_host("src", s0)
+    names = tuple(f"r{i}" for i in range(n_receivers))
+    sender = PosAckSender("g", names)
+    src_node = SimNode(net, src_host, [sender])
+    src_node.start()
+    for name in names:
+        host = net.add_host(name, s1)
+        SimNode(net, host, [PosAckReceiver("g", sender="src")]).start()
+    for _ in range(N_PACKETS):
+        src_node.send_app(sender, b"x")
+        sim.run_until(sim.now + 0.5)
+    return sender.stats["acks_received"] / N_PACKETS
+
+
+def lbrm_load(n_sites: int, seed=4) -> float:
+    cfg = LbrmConfig(statack=StatAckConfig(k_ackers=K_ACKERS, epoch_length=1000))
+    dep = LbrmDeployment(DeploymentSpec(
+        n_sites=n_sites, receivers_per_site=1, enable_statack=True, config=cfg, seed=seed,
+    ))
+    dep.start()
+    dep.advance(3.0)
+    before = dep.sender.statack.stats["acks_received"]
+    for _ in range(N_PACKETS):
+        dep.send(b"x")
+        dep.advance(0.5)
+    return (dep.sender.statack.stats["acks_received"] - before) / N_PACKETS
+
+
+def test_ack_implosion(benchmark, report):
+    def sweep():
+        rows = []
+        for n in SWEEP:
+            rows.append((n, posack_load(n), lbrm_load(n)))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    text = f"# §1/§5: per-packet ACK load at the source vs group size (k={K_ACKERS})\n"
+    text += format_table(
+        ["receivers/sites", "positive-ACK (acks/pkt)", "LBRM statistical (acks/pkt)"], rows
+    )
+    report("ack_implosion", text)
+
+    for n, posack, lbrm in rows:
+        assert posack == n  # linear in group size: the implosion
+        # statistical acking stays near k (binomial fluctuation allowed;
+        # with p_ack capped at 1 small groups ack fully)
+        assert lbrm <= max(3 * K_ACKERS, n * 0.6 if n <= 2 * K_ACKERS else 3 * K_ACKERS)
+    # the headline: at the largest sweep point LBRM's load is a small
+    # fraction of the positive-ACK protocol's
+    n, posack, lbrm = rows[-1]
+    assert lbrm < 0.2 * posack

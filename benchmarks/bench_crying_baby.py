@@ -1,0 +1,48 @@
+"""§6 — the crying-baby problem: one receiver behind a terrible link.
+
+"if a single link to one member of the group has a high error rate, then
+all members of the multicast group must contend with a multicast request
+and one or more multicast responses ... LBRM does not suffer from the
+crying baby problem."
+
+We measure the *innocent bystander's* exposure: packets an unaffected
+receiver at another site must process purely because of the baby's
+losses, under SRM vs LBRM.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.report import format_table
+from repro.simnet.scenarios import run_lbrm_crying_baby, run_srm_crying_baby
+
+
+def test_crying_baby(benchmark, report):
+    def both():
+        members, innocent_srm = run_srm_crying_baby(seed=2)
+        receivers, hosts = run_lbrm_crying_baby(seed=2)
+        return members, innocent_srm, receivers
+
+    members, innocent_srm, receivers = benchmark.pedantic(both, rounds=1, iterations=1)
+
+    baby_srm = members[0]
+    baby_lbrm = receivers[0]
+    innocent_lbrm = receivers[-1]
+
+    srm_exposure = innocent_srm.stats["duplicate_repairs_seen"]
+    lbrm_exposure = innocent_lbrm.stats["retrans_received"] + innocent_lbrm.stats["duplicates"]
+    rows = [
+        ("baby's losses recovered", baby_srm.stats["recoveries"], baby_lbrm.stats["recoveries"]),
+        ("baby still missing", len(baby_srm.missing), len(baby_lbrm.missing)),
+        ("innocent bystander exposure (pkts)", srm_exposure, lbrm_exposure),
+        ("group-wide requests", sum(m.stats["requests_sent"] for m in members), 0),
+    ]
+    text = "# §6 crying baby: one receiver at 40% loss, 30 packets, 4 sites x 3 rx\n"
+    text += format_table(["quantity", "wb/SRM", "LBRM"], rows)
+    report("crying_baby", text)
+
+    assert baby_lbrm.stats["recoveries"] > 0
+    assert not baby_lbrm.missing
+    assert lbrm_exposure == 0  # LBRM: nobody else sees the baby's repairs
+    assert srm_exposure > 0  # SRM: everyone contends with them

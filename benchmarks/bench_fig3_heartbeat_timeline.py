@@ -1,0 +1,34 @@
+"""Figure 3 — heartbeat clustering between data packet transmissions.
+
+Regenerates the timeline the paper sketches: after each data packet the
+heartbeats go out at h_min, then back off geometrically to h_max.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.report import format_series
+from repro.core.config import HeartbeatConfig
+from repro.core.heartbeat import heartbeat_times
+
+
+def test_fig3_heartbeat_timeline(benchmark, report):
+    cfg = HeartbeatConfig(h_min=0.25, h_max=32.0, backoff=2.0)
+    data_times = [0.0, 120.0]
+
+    beats = benchmark(heartbeat_times, cfg, data_times)
+
+    intervals = [beats[0]] + [b - a for a, b in zip(beats, beats[1:])]
+    text = format_series(
+        "Figure 3: heartbeat transmission times after a data packet at t=0 "
+        "(h_min=0.25, backoff=2, h_max=32)",
+        [f"hb{i+1}" for i in range(len(beats))],
+        [f"t={t:.2f}s (interval {dt:.2f}s)" for t, dt in zip(beats, intervals)],
+        x_label="packet",
+        y_label="transmission",
+    )
+    report("fig3_heartbeat_timeline", text)
+
+    # Shape assertions: clustering near the data packet, backoff after.
+    assert beats[0] == 0.25
+    assert all(b2 - b1 >= b1 - a for a, b1, b2 in zip([0.0] + beats, beats, beats[1:]))
+    assert len(beats) == 9

@@ -1,0 +1,48 @@
+"""Figure 4 — fixed vs variable heartbeat rates as a function of dt.
+
+The paper's series: fixed rate approaches 1/h_min = 4 pkt/s while the
+variable rate approaches 1/h_max = 1/32 pkt/s as the inter-data interval
+grows.  Closed form is cross-checked against the event-driven schedule
+generator at every point.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.heartbeat_math import fixed_rate, variable_rate
+from repro.analysis.report import format_table
+from repro.core.config import HeartbeatConfig
+from repro.core.heartbeat import heartbeat_times
+
+DTS = [0.1, 0.25, 0.5, 1.0, 2.0, 5.0, 10.0, 30.0, 60.0, 120.0, 300.0, 1000.0, 10_000.0]
+
+
+def compute_series():
+    cfg = HeartbeatConfig(h_min=0.25, h_max=32.0, backoff=2.0)
+    rows = []
+    for dt in DTS:
+        fixed = fixed_rate(dt, cfg.h_min)
+        variable = variable_rate(dt, cfg)
+        simulated = len(heartbeat_times(cfg, [0.0, dt])) / dt
+        rows.append((dt, fixed, variable, simulated))
+    return rows
+
+
+def test_fig4_heartbeat_rates(benchmark, report):
+    rows = benchmark(compute_series)
+
+    text = "# Figure 4: heartbeat rates vs data interval (h_min=0.25, h_max=32, backoff=2)\n"
+    text += format_table(
+        ["dt (s)", "fixed (pkt/s)", "variable (pkt/s)", "variable (simulated)"], rows
+    )
+    report("fig4_heartbeat_rates", text)
+
+    for dt, fixed, variable, simulated in rows:
+        assert variable <= fixed + 1e-12
+        assert variable == pytest.approx(simulated, abs=1e-9)
+    # the two asymptotes
+    assert rows[-1][1] == pytest.approx(4.0, rel=0.01)
+    assert rows[-1][2] == pytest.approx(1 / 32, rel=0.05)
+    # below h_min neither scheme transmits
+    assert rows[0][1] == 0.0 and rows[0][2] == 0.0

@@ -1,0 +1,37 @@
+"""Figure 5 — Overhead(Fixed)/Overhead(Variable) vs data interval.
+
+The marked point: at dt = 120 s (the DIS terrain update rate) the
+variable heartbeat reduces heartbeat bandwidth by a factor of ~53.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.heartbeat_math import overhead_ratio
+from repro.analysis.report import format_table
+from repro.core.config import HeartbeatConfig
+
+DTS = [0.5, 1.0, 2.0, 5.0, 10.0, 30.0, 60.0, 120.0, 300.0, 600.0, 1000.0]
+
+
+def compute_series():
+    cfg = HeartbeatConfig(h_min=0.25, h_max=32.0, backoff=2.0)
+    return [(dt, overhead_ratio(dt, cfg)) for dt in DTS]
+
+
+def test_fig5_overhead_ratio(benchmark, report):
+    rows = benchmark(compute_series)
+    text = "# Figure 5: Overhead(Fixed)/Overhead(Variable) (h_min=0.25, h_max=32, backoff=2)\n"
+    text += format_table(["dt (s)", "ratio"], rows)
+    text += "\n\npaper's marked point: dt=120s -> 53.4x   measured: "
+    ratio_120 = dict(rows)[120.0]
+    text += f"{ratio_120:.1f}x"
+    report("fig5_overhead_ratio", text)
+
+    # savings grow with dt
+    ratios = [r for _, r in rows]
+    assert all(b >= a - 1e-9 for a, b in zip(ratios, ratios[1:]))
+    # the paper's DIS point: 53.4x (we measure 53.2-53.3 depending on the
+    # fencepost at exactly dt = n*h_min; shape and magnitude match)
+    assert ratio_120 == pytest.approx(53.3, rel=0.01)

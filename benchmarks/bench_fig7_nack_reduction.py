@@ -1,0 +1,71 @@
+"""Figure 7 / §2.2.2 — NACK traffic: centralized vs distributed logging.
+
+The paper's scenario: 50 sites × 20 receivers; congestion on one site's
+tail circuit loses a packet for the whole site.  "Distributed logging
+cuts the number of NACKs transmitted across the tail circuit and the WAN
+from 20 (one per receiver at the site) to 1 (from the site's secondary
+logging server)" — and the primary-server load drops by the same factor.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.report import format_table
+from repro.simnet import BurstLoss, DeploymentSpec, LbrmDeployment
+
+N_SITES = 50
+RECEIVERS = 20
+
+
+def run(secondary_loggers: bool):
+    dep = LbrmDeployment(DeploymentSpec(
+        n_sites=N_SITES, receivers_per_site=RECEIVERS,
+        secondary_loggers=secondary_loggers, seed=1995,
+    ))
+    dep.start()
+    dep.advance(0.2)
+    dep.send(b"warm-up")
+    dep.advance(1.0)
+    dep.trace.reset()
+    # Congestion on site1's incoming tail circuit: the whole site misses
+    # the next update (Figure 1's story).
+    site = dep.network.site("site1")
+    site.tail_down.loss = BurstLoss([(dep.sim.now, dep.sim.now + 0.1)])
+    dep.send(b"the update")
+    dep.advance(5.0)
+    assert dep.receivers_with(2) == len(dep.receivers), "recovery incomplete"
+    return {
+        "wan_nacks": dep.trace.cross_site_nacks(),
+        "primary_nacks": dep.primary.stats["nacks_received"],
+        "primary_retrans": dep.primary.stats["retrans_unicast"] + dep.primary.stats["retrans_multicast"],
+    }
+
+
+def test_fig7_nack_reduction(benchmark, report):
+    def both():
+        return run(secondary_loggers=False), run(secondary_loggers=True)
+
+    centralized, distributed = benchmark.pedantic(both, rounds=1, iterations=1)
+
+    rows = [
+        ("NACKs across tail/WAN", 20, centralized["wan_nacks"], 1, distributed["wan_nacks"]),
+        ("NACKs at primary server", 20, centralized["primary_nacks"], 1, distributed["primary_nacks"]),
+        ("retransmissions by primary", 20, centralized["primary_retrans"], 1, distributed["primary_retrans"]),
+    ]
+    text = (
+        f"# Figure 7: retransmission requests, {N_SITES} sites x {RECEIVERS} receivers,\n"
+        "# one site loses a packet on its tail circuit\n"
+    )
+    text += format_table(
+        ["quantity", "paper centralized", "measured centralized", "paper distributed", "measured distributed"],
+        rows,
+    )
+    report("fig7_nack_reduction", text)
+
+    assert centralized["wan_nacks"] == RECEIVERS  # one per receiver
+    assert distributed["wan_nacks"] == 1  # one per site
+    assert centralized["primary_nacks"] == RECEIVERS
+    assert distributed["primary_nacks"] == 1
+    # the 20x load reduction on the primary
+    assert centralized["primary_retrans"] / distributed["primary_retrans"] == RECEIVERS

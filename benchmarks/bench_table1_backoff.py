@@ -1,0 +1,58 @@
+"""Table 1 — overhead reduction ratio as the backoff parameter changes.
+
+Paper rows (dt=120 s, h_min=0.25, h_max=32):
+
+    backoff  1.5   2.0   2.5   3.0   3.5   4.0
+    ratio    34.4  53.3  65.8  74.8  81.7  87.3
+
+Our discrete counting reproduces the flagship backoff-2 row exactly and
+the monotone trend elsewhere; the tail rows saturate earlier because the
+h_max cap dominates once the ramp is steep (see EXPERIMENTS.md for the
+convention discussion).  The ablation extension also reports the §2.1.1
+trade-off: a larger backoff stretches the burst-loss detection bound.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.estimation_math import loss_detection_bound
+from repro.analysis.heartbeat_math import table1_rows
+from repro.analysis.report import format_table
+from repro.core.config import HeartbeatConfig
+
+PAPER = {1.5: 34.4, 2.0: 53.3, 2.5: 65.8, 3.0: 74.8, 3.5: 81.7, 4.0: 87.3}
+
+
+def compute():
+    rows = []
+    for backoff, ratio in table1_rows():
+        cfg = HeartbeatConfig(h_min=0.25, h_max=32.0, backoff=backoff)
+        detect_bound = loss_detection_bound(1.0, cfg)  # 1-second burst
+        rows.append((backoff, PAPER[backoff], ratio, detect_bound))
+    return rows
+
+
+def test_table1_backoff(benchmark, report):
+    rows = benchmark(compute)
+    text = "# Table 1: Fixed/Variable overhead ratio vs backoff (dt=120s)\n"
+    text += format_table(
+        ["backoff", "paper ratio", "measured ratio", "detection bound for 1s burst (s)"],
+        rows,
+    )
+    report("table1_backoff", text)
+
+    measured = {b: r for b, _, r, _ in rows}
+    # flagship row matches the paper
+    assert measured[2.0] == pytest.approx(53.3, rel=0.01)
+    # monotone non-decreasing savings with backoff (the paper's trend)
+    ratios = [r for _, _, r, _ in rows]
+    assert all(b >= a - 1e-9 for a, b in zip(ratios, ratios[1:]))
+    # every row within 25% of the paper's value despite the counting
+    # convention difference
+    for backoff, paper, ratio, _ in rows:
+        assert ratio == pytest.approx(paper, rel=0.25)
+    # the ablation trade-off: detection bound grows linearly in backoff
+    bounds = [d for _, _, _, d in rows]
+    assert bounds == sorted(bounds)
+    assert bounds[-1] == pytest.approx(4.0)  # backoff 4 x 1s burst

@@ -1,0 +1,32 @@
+"""Shared infrastructure for the benchmark harness.
+
+Every bench regenerates one of the paper's tables or figures, prints the
+same rows/series the paper reports, and writes the rendered text to
+``benchmarks/results/<name>.txt`` so EXPERIMENTS.md can cite concrete
+artifacts.  Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Heavy simulations use ``benchmark.pedantic(..., rounds=1)`` — we are
+timing one reproducible run, not microbenchmarking the simulator.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture
+def report():
+    """Print a rendered experiment report and persist it to results/."""
+
+    def _report(name: str, text: str) -> None:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+        print(f"\n{text}\n")
+
+    return _report

@@ -1,0 +1,49 @@
+#!/usr/bin/env python3
+"""Quickstart: an LBRM group on the simulated WAN in ~40 lines.
+
+Builds the paper's canonical deployment shape (scaled down), multicasts
+an update, injects a whole-site loss on a tail circuit, and watches the
+distributed logging hierarchy repair it with a single cross-site NACK.
+
+Run:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro.simnet import BurstLoss, DeploymentSpec, LbrmDeployment
+
+
+def main() -> None:
+    # 5 sites x 4 receivers, a secondary logger per site, the primary
+    # logger co-sited with the source (Figure 6's architecture).
+    dep = LbrmDeployment(DeploymentSpec(n_sites=5, receivers_per_site=4, seed=42))
+    dep.start()
+    dep.advance(0.1)
+
+    print("sending update #1 to", len(dep.receivers), "receivers ...")
+    dep.send(b"bridge 17: intact")
+    dep.advance(1.0)
+    print(f"  delivered to {dep.receivers_with(1)}/{len(dep.receivers)}")
+    print(f"  source buffer released through seq {dep.sender.released_up_to}")
+
+    # Congestion bursts on site2's incoming tail circuit: the entire
+    # site — receivers and its logger — misses the next packet.
+    print("\ninjecting a 100ms loss burst on site2's tail circuit ...")
+    site2 = dep.network.site("site2")
+    site2.tail_down.loss = BurstLoss([(dep.sim.now, dep.sim.now + 0.1)])
+
+    dep.send(b"bridge 17: DESTROYED")
+    dep.advance(3.0)
+
+    print(f"  delivered to {dep.receivers_with(2)}/{len(dep.receivers)} after recovery")
+    print(f"  cross-site NACKs on the WAN: {dep.trace.cross_site_nacks()} "
+          "(the site logger's single upstream request)")
+    print(f"  heartbeats sent so far: {dep.sender.stats['heartbeats_sent']} "
+          "(variable schedule: clustered after data, backed off while idle)")
+
+    rx = dep.receivers[4]  # first receiver at site2
+    print("\nsite2 receiver stats:", {k: v for k, v in rx.stats.items() if v})
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Stock-quote dissemination (§4.1) with statistical acknowledgement.
+
+A quote feed multicasts trade prints to broker terminals across many
+sites.  Statistical acking keeps the source's ACK load at ~k regardless
+of audience size, and a widespread loss is repaired with one immediate
+re-multicast instead of a NACK storm.
+
+Run:  python examples/stock_ticker.py
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.apps.ticker import QuoteBoard, QuoteFeed
+from repro.core.config import LbrmConfig, StatAckConfig
+from repro.simnet import BurstLoss, DeploymentSpec, LbrmDeployment
+
+
+def main() -> None:
+    cfg = LbrmConfig(statack=StatAckConfig(k_ackers=10, epoch_length=64))
+    dep = LbrmDeployment(DeploymentSpec(
+        n_sites=30, receivers_per_site=2, enable_statack=True, config=cfg, seed=12,
+    ))
+    dep.start()
+    dep.advance(3.0)  # group-size probing + first epoch
+    sa = dep.sender.statack
+    print(f"statistical acking bootstrap: estimated {sa.group_size_estimate:.0f} site loggers "
+          f"(actual 30), {len(sa.designated_ackers)} designated ackers, "
+          f"t_wait {sa.t_wait*1000:.0f} ms")
+
+    feed = QuoteFeed(symbols=("ACME", "GLOBEX", "INITECH"), rng=random.Random(1))
+    boards = [QuoteBoard() for _ in dep.receivers]
+
+    print(f"\nstreaming 30 quotes to {len(dep.receivers)} terminals at 30 sites ...")
+    for i in range(30):
+        quote = feed.tick_random()
+        if i == 14:
+            # flash congestion: 20 of 30 sites lose this print
+            now = dep.sim.now
+            for s in range(1, 21):
+                dep.network.site(f"site{s}").tail_down.loss = BurstLoss([(now, now + 0.05)])
+            print(f"  quote #{i+1} ({quote.symbol} @ {quote.price_cents/100:.2f}): "
+                  "20 sites congested ...")
+        dep.send(quote.encode())
+        dep.advance(0.4)
+    dep.advance(2.0)
+
+    for node, board in zip(dep.receiver_nodes, boards):
+        for delivery in node.delivered:
+            board.apply(delivery.payload)
+
+    complete = sum(1 for b in boards if len(b) == 3)
+    print(f"\nterminals with a complete 3-symbol book: {complete}/{len(boards)}")
+    print(f"source ACK load: {sa.stats['acks_received'] / dep.sender.stats['data_sent']:.1f} "
+          f"acks/quote (vs {len(dep.receivers)} under per-receiver positive ACK)")
+    print(f"immediate re-multicasts after widespread loss: {dep.sender.stats['remulticasts']}")
+    print(f"cross-site NACKs on the WAN: {dep.trace.cross_site_nacks()}")
+    sample = boards[0]
+    print("\nterminal 0 last prints:",
+          {s: f"{sample.last(s).price_cents/100:.2f}" for s in feed.symbols})
+
+
+if __name__ == "__main__":
+    main()

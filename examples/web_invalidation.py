@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Appendix A: WWW page invalidation over multicast.
+
+A Mosaic-style browser caches pages, subscribes to each page's
+invalidation multicast address (from the first-line HTML comment), and
+highlights RELOAD when the server announces a change.  The text protocol
+is the paper's exactly: TRANS / RETRANS, UPDATE / HEARTBEAT.
+
+Run:  python examples/web_invalidation.py
+"""
+
+from __future__ import annotations
+
+from repro.apps.webinval import BrowserClient, HttpInvalidationServer, WebMessage
+
+
+def main() -> None:
+    server = HttpInvalidationServer(group_address="234.12.29.72")
+    browser = BrowserClient()
+
+    url = "http://www-DSG.Stanford.EDU/groupMembers.html"
+    html = server.publish(url, "<h1>Group Members</h1><ul><li>Holbrook</li></ul>")
+    print("document first line:", html.splitlines()[0])
+
+    address = browser.display(url, server.fetch(url))
+    print(f"browser displayed {url}")
+    print(f"  -> subscribed to multicast group {address}")
+
+    # The channel idles: the server heartbeats (TRANS:seq.N:HEARTBEAT).
+    for n in (1, 2, 3):
+        beat = server.heartbeat(n)
+        print("heartbeat on the wire:   ", beat.encode())
+        browser.on_message(beat)
+    print("RELOAD highlighted?", browser.needs_reload(url))
+
+    # The document changes: an UPDATE is multicast.
+    update = server.modify(url, "<h1>Group Members</h1><ul><li>Holbrook</li><li>Singhal</li></ul>")
+    print("\nupdate on the wire:      ", update.encode())
+    browser.on_message(update)
+    print("RELOAD highlighted?", browser.needs_reload(url))
+
+    # A second client missed the update; it asks the server-host logging
+    # process, which answers with RETRANS-tagged messages.
+    replies = server.retransmit([update.seq])
+    print("retransmission on the wire:", replies[0].encode())
+    late_browser = BrowserClient()
+    late_browser.display(url, html)  # displaying the stale copy
+    late_browser.on_message(replies[0])
+    print("late client RELOAD highlighted?", late_browser.needs_reload(url))
+
+    # The user reloads; the flag clears.
+    browser.reload(url, server.fetch(url))
+    print("\nafter reload, RELOAD highlighted?", browser.needs_reload(url))
+    print("browser cache now contains:", browser.cached(url).splitlines()[1])
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,25 @@
+"""LBRM — Log-Based Receiver-Reliable Multicast.
+
+A full reproduction of Holbrook, Singhal & Cheriton, *Log-Based
+Receiver-Reliable Multicast for Distributed Interactive Simulation*
+(SIGCOMM 1995): the protocol (:mod:`repro.core`), a deterministic WAN
+simulator (:mod:`repro.simnet`), a real asyncio UDP multicast transport
+(:mod:`repro.aio`), the paper's comparison baselines
+(:mod:`repro.baselines`), its application studies (:mod:`repro.apps`),
+and the closed-form analysis behind its figures
+(:mod:`repro.analysis`).
+
+Quickstart::
+
+    from repro.simnet import LbrmDeployment, DeploymentSpec
+
+    dep = LbrmDeployment(DeploymentSpec(n_sites=5, receivers_per_site=4))
+    dep.start()
+    dep.send(b"bridge destroyed")
+    dep.advance(1.0)
+    assert dep.receivers_with(1) == len(dep.receivers)
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

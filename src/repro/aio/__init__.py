@@ -1,0 +1,32 @@
+"""Real asyncio UDP multicast transport for LBRM.
+
+The same sans-IO machines that run in :mod:`repro.simnet` run here over
+actual sockets — multicast on the loopback interface by default, so the
+full protocol (heartbeats, logging, recovery, statistical acking) can be
+demonstrated end-to-end on one machine.  See
+``examples/asyncio_live.py``.
+"""
+
+from repro.aio.cluster import AioCluster
+from repro.aio.groupmap import GroupDirectory
+from repro.aio.node import AioNode, addr_token, parse_token
+from repro.aio.udp import (
+    DEFAULT_INTERFACE,
+    make_multicast_recv_socket,
+    make_multicast_send_socket,
+    make_unicast_socket,
+    set_multicast_ttl,
+)
+
+__all__ = [
+    "AioCluster",
+    "GroupDirectory",
+    "AioNode",
+    "addr_token",
+    "parse_token",
+    "DEFAULT_INTERFACE",
+    "make_multicast_recv_socket",
+    "make_multicast_send_socket",
+    "make_unicast_socket",
+    "set_multicast_ttl",
+]

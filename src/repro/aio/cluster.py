@@ -1,0 +1,160 @@
+"""Turn-key LBRM clusters over real UDP.
+
+:class:`AioCluster` is the asyncio counterpart of
+:class:`repro.simnet.deploy.LbrmDeployment`: it starts a primary logger
+(plus optional replicas), a source, and N receivers as real asyncio
+endpoints on loopback, wiring the dynamically-assigned socket addresses
+together in dependency order (loggers before the sender, because the
+sender needs the primary's port).
+
+Used by ``examples/asyncio_live.py``-style demos and the aio integration
+tests; on a real LAN, pass each node's interface address instead of the
+loopback default.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+from repro.aio.groupmap import GroupDirectory
+from repro.aio.node import AioNode, parse_token
+from repro.core.config import LbrmConfig
+from repro.core.logger import LoggerRole, LogServer
+from repro.core.receiver import LbrmReceiver
+from repro.core.retranschannel import RetransChannelConfig
+from repro.core.sender import LbrmSender
+
+__all__ = ["AioCluster"]
+
+
+class AioCluster:
+    """A full LBRM group (logger, replicas, source, receivers) on UDP."""
+
+    def __init__(
+        self,
+        group: str,
+        config: LbrmConfig | None = None,
+        *,
+        n_receivers: int = 2,
+        n_replicas: int = 0,
+        enable_statack: bool = False,
+        retrans_channel: RetransChannelConfig | None = None,
+        directory: GroupDirectory | None = None,
+        interface: str = "127.0.0.1",
+    ) -> None:
+        self.group = group
+        self.config = config or LbrmConfig()
+        self.directory = directory or GroupDirectory()
+        self._interface = interface
+        self._n_receivers = n_receivers
+        self._n_replicas = n_replicas
+        self._enable_statack = enable_statack
+        self._retrans_channel = retrans_channel
+
+        self.primary: LogServer | None = None
+        self.primary_node: AioNode | None = None
+        self.replicas: list[LogServer] = []
+        self.replica_nodes: list[AioNode] = []
+        self.sender: LbrmSender | None = None
+        self.sender_node: AioNode | None = None
+        self.receivers: list[LbrmReceiver] = []
+        self.receiver_nodes: list[AioNode] = []
+        self._started = False
+
+    # -- lifecycle ----------------------------------------------------------
+
+    async def start(self) -> None:
+        """Bind every endpoint and wire addresses in dependency order."""
+        if self._started:
+            raise RuntimeError("cluster already started")
+        self._started = True
+
+        # Replicas first: the primary needs their addresses.
+        for i in range(self._n_replicas):
+            node = AioNode(directory=self.directory, interface=self._interface)
+            await node.start()
+            replica = LogServer(
+                self.group, addr_token=node.token, config=self.config,
+                role=LoggerRole.REPLICA,
+            )
+            node.machines.append(replica)
+            await node.run_machine(replica.start, node.now)
+            self.replicas.append(replica)
+            self.replica_nodes.append(node)
+
+        self.primary_node = AioNode(directory=self.directory, interface=self._interface)
+        await self.primary_node.start()
+        self.primary = LogServer(
+            self.group, addr_token=self.primary_node.token, config=self.config,
+            role=LoggerRole.PRIMARY, level=0,
+            replicas=tuple(n.address for n in self.replica_nodes),
+        )
+        self.primary_node.machines.append(self.primary)
+        await self.primary_node.run_machine(self.primary.start, self.primary_node.now)
+
+        self.sender_node = AioNode(directory=self.directory, interface=self._interface)
+        await self.sender_node.start()
+        self.sender = LbrmSender(
+            self.group, self.config,
+            primary=self.primary_node.address,
+            replicas=tuple(n.address for n in self.replica_nodes),
+            enable_statack=self._enable_statack,
+            retrans_channel=self._retrans_channel,
+            addr_token=self.sender_node.token,
+        )
+        self.sender_node.machines.append(self.sender)
+        await self.sender_node.run_machine(self.sender.start, self.sender_node.now)
+        self.primary.set_source(self.sender_node.address)
+        for replica in self.replicas:
+            replica.set_source(self.sender_node.address)
+
+        for i in range(self._n_receivers):
+            node = AioNode(directory=self.directory, interface=self._interface)
+            await node.start()
+            receiver = LbrmReceiver(
+                self.group, self.config.receiver,
+                logger_chain=(self.primary_node.address,),
+                source=self.sender_node.address,
+                heartbeat=self.config.heartbeat,
+                parse_token=parse_token,
+            )
+            node.machines.append(receiver)
+            await node.run_machine(receiver.start, node.now)
+            self.receivers.append(receiver)
+            self.receiver_nodes.append(node)
+
+    async def publish(self, payload: bytes) -> int:
+        """Multicast application data; returns the sequence number."""
+        assert self.sender is not None and self.sender_node is not None
+        await self.sender_node.send(self.sender, payload)
+        return self.sender.seq
+
+    async def deliveries(self, receiver_index: int, count: int, timeout: float = 3.0):
+        """Await ``count`` deliveries at one receiver."""
+        node = self.receiver_nodes[receiver_index]
+        out = []
+        for _ in range(count):
+            out.append(await asyncio.wait_for(node.delivery_queue.get(), timeout))
+        return out
+
+    @property
+    def nodes(self) -> list[AioNode]:
+        nodes: list[AioNode] = []
+        nodes.extend(self.replica_nodes)
+        if self.primary_node is not None:
+            nodes.append(self.primary_node)
+        if self.sender_node is not None:
+            nodes.append(self.sender_node)
+        nodes.extend(self.receiver_nodes)
+        return nodes
+
+    async def close(self) -> None:
+        for node in self.nodes:
+            await node.close()
+
+    async def __aenter__(self) -> "AioCluster":
+        await self.start()
+        return self
+
+    async def __aexit__(self, *exc) -> None:
+        await self.close()

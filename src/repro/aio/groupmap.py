@@ -1,0 +1,61 @@
+"""Mapping LBRM group names onto IP multicast addresses and ports.
+
+LBRM groups are fine-grained — one per terrain entity, cached page, or
+stock symbol — so a deployment needs thousands of multicast addresses.
+:class:`GroupDirectory` hashes group names deterministically into the
+administratively-scoped ``239.192.0.0/14`` block (RFC 2365 organization
+local scope) and a configurable port range, with explicit overrides for
+operators who assign addresses by hand.
+
+Every endpoint that shares a directory configuration derives the same
+``(address, port)`` for a group, with no coordination traffic — the same
+convention the paper's Appendix A uses by embedding the multicast
+address in the HTML document itself.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import ipaddress
+
+__all__ = ["GroupDirectory"]
+
+
+class GroupDirectory:
+    """Deterministic group-name → (multicast address, port) mapping."""
+
+    def __init__(
+        self,
+        base_network: str = "239.192.0.0/14",
+        port_base: int = 30000,
+        port_count: int = 20000,
+    ) -> None:
+        network = ipaddress.ip_network(base_network)
+        if not network.is_multicast:
+            raise ValueError(f"{base_network} is not a multicast block")
+        if not 1 <= port_base <= 65535:
+            raise ValueError(f"port_base out of range: {port_base}")
+        if port_base + port_count - 1 > 65535:
+            raise ValueError("port range exceeds 65535")
+        self._network = network
+        self._port_base = port_base
+        self._port_count = port_count
+        self._overrides: dict[str, tuple[str, int]] = {}
+
+    def register(self, group: str, address: str, port: int) -> None:
+        """Pin ``group`` to an explicit address (overrides hashing)."""
+        if not ipaddress.ip_address(address).is_multicast:
+            raise ValueError(f"{address} is not a multicast address")
+        self._overrides[group] = (address, port)
+
+    def resolve(self, group: str) -> tuple[str, int]:
+        """The (multicast address, UDP port) for ``group``."""
+        override = self._overrides.get(group)
+        if override is not None:
+            return override
+        digest = hashlib.sha256(group.encode("utf-8")).digest()
+        host_bits = int.from_bytes(digest[:8], "big")
+        offset = host_bits % self._network.num_addresses
+        address = str(self._network[offset])
+        port = self._port_base + (int.from_bytes(digest[8:12], "big") % self._port_count)
+        return address, port

@@ -1,0 +1,282 @@
+"""Asyncio runtime carrying sans-IO LBRM machines over real UDP.
+
+:class:`AioNode` is the asyncio twin of
+:class:`repro.simnet.node.SimNode`: it owns one unicast endpoint (the
+node's address), joins multicast groups on demand, decodes datagrams,
+dispatches them to its protocol machines, executes the returned actions
+against real sockets, and keeps machine wakeups scheduled with
+``loop.call_at``.
+
+Addresses here are ``(host, port)`` tuples; wire address tokens are
+``"host:port"`` strings (see :func:`addr_token` / :func:`parse_token`).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import socket
+from typing import Callable
+
+from repro.core.actions import (
+    Action,
+    Deliver,
+    JoinGroup,
+    LeaveGroup,
+    Notify,
+    SendMulticast,
+    SendUnicast,
+)
+from repro.core.errors import DecodeError
+from repro.core.events import Event
+from repro.core.machine import ProtocolMachine
+from repro.core.packets import Packet, decode, encode
+from repro.aio.groupmap import GroupDirectory
+from repro.aio.udp import (
+    DEFAULT_INTERFACE,
+    make_multicast_recv_socket,
+    make_multicast_send_socket,
+    make_unicast_socket,
+    set_multicast_ttl,
+)
+
+__all__ = ["AioNode", "addr_token", "parse_token"]
+
+
+def addr_token(addr: tuple[str, int]) -> str:
+    """Render a ``(host, port)`` address as its wire token."""
+    host, port = addr
+    return f"{host}:{port}"
+
+
+def parse_token(token: str) -> tuple[str, int]:
+    """Parse a ``host:port`` wire token back into an address tuple."""
+    host, _, port = token.rpartition(":")
+    if not host or not port.isdigit():
+        raise ValueError(f"malformed address token {token!r}")
+    return host, int(port)
+
+
+class _Endpoint(asyncio.DatagramProtocol):
+    """Datagram protocol funnelling packets into the node."""
+
+    def __init__(self, node: "AioNode") -> None:
+        self._node = node
+
+    def datagram_received(self, data: bytes, addr: tuple[str, int]) -> None:
+        self._node._datagram(data, addr)
+
+    def error_received(self, exc: OSError) -> None:  # pragma: no cover - OS dependent
+        self._node.stats["socket_errors"] += 1
+
+
+class AioNode:
+    """One LBRM endpoint (sender, logger, or receiver) on real UDP."""
+
+    def __init__(
+        self,
+        machines: list[ProtocolMachine] | None = None,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        interface: str = DEFAULT_INTERFACE,
+        directory: GroupDirectory | None = None,
+        on_deliver: Callable[[Deliver, float], None] | None = None,
+        on_event: Callable[[Event, float], None] | None = None,
+    ) -> None:
+        self.machines: list[ProtocolMachine] = list(machines or [])
+        self._host = host
+        self._want_port = port
+        self._interface = interface
+        self._directory = directory or GroupDirectory()
+        self._on_deliver = on_deliver
+        self._on_event = on_event
+
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._unicast_transport: asyncio.DatagramTransport | None = None
+        self._mcast_send_sock: socket.socket | None = None
+        self._mcast_send_transport: asyncio.DatagramTransport | None = None
+        self._group_transports: dict[str, asyncio.DatagramTransport] = {}
+        self._wakeup_handle: asyncio.TimerHandle | None = None
+        self._addr: tuple[str, int] | None = None
+        self._closed = False
+
+        self.delivered: list[Deliver] = []
+        self.delivery_queue: asyncio.Queue[Deliver] = asyncio.Queue()
+        self.events: list[Event] = []
+        self.stats = {"rx": 0, "tx_unicast": 0, "tx_multicast": 0, "decode_errors": 0, "socket_errors": 0}
+
+    # -- introspection ----------------------------------------------------
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """This node's unicast address (valid after :meth:`start`)."""
+        if self._addr is None:
+            raise RuntimeError("node not started")
+        return self._addr
+
+    @property
+    def token(self) -> str:
+        return addr_token(self.address)
+
+    @property
+    def now(self) -> float:
+        assert self._loop is not None
+        return self._loop.time()
+
+    # -- lifecycle ----------------------------------------------------------
+
+    async def start(self) -> None:
+        """Bind sockets and call each machine's ``start`` hook."""
+        self._loop = asyncio.get_running_loop()
+        usock = make_unicast_socket(self._host, self._want_port)
+        self._addr = usock.getsockname()
+        self._unicast_transport, _ = await self._loop.create_datagram_endpoint(
+            lambda: _Endpoint(self), sock=usock
+        )
+        self._mcast_send_sock = make_multicast_send_socket(self._interface)
+        self._mcast_send_transport, _ = await self._loop.create_datagram_endpoint(
+            lambda: _Endpoint(self), sock=self._mcast_send_sock
+        )
+        for machine in self.machines:
+            start = getattr(machine, "start", None)
+            if callable(start):
+                await self._execute(start(self.now))
+        self._reschedule()
+
+    async def close(self) -> None:
+        """Tear down sockets and timers."""
+        self._closed = True
+        if self._wakeup_handle is not None:
+            self._wakeup_handle.cancel()
+            self._wakeup_handle = None
+        for transport in self._group_transports.values():
+            transport.close()
+        self._group_transports.clear()
+        if self._unicast_transport is not None:
+            self._unicast_transport.close()
+        if self._mcast_send_transport is not None:
+            self._mcast_send_transport.close()
+        # Let asyncio flush transport close callbacks.
+        await asyncio.sleep(0)
+
+    # -- app API ----------------------------------------------------------
+
+    async def send(self, machine, payload: bytes) -> None:
+        """Have a sender machine multicast application data now."""
+        await self._execute(machine.send(payload, self.now))
+        self._reschedule()
+
+    async def join_group(self, group: str) -> None:
+        """Subscribe this node to ``group``'s multicast address."""
+        if group in self._group_transports:
+            return
+        assert self._loop is not None
+        addr, port = self._directory.resolve(group)
+        sock = make_multicast_recv_socket(addr, port, self._interface)
+        transport, _ = await self._loop.create_datagram_endpoint(lambda: _Endpoint(self), sock=sock)
+        self._group_transports[group] = transport
+
+    def leave_group(self, group: str) -> None:
+        transport = self._group_transports.pop(group, None)
+        if transport is not None:
+            transport.close()
+
+    async def run_machine(self, fn, *args) -> None:
+        """Execute ``fn(*args)`` returning actions, then reschedule."""
+        await self._execute(fn(*args))
+        self._reschedule()
+
+    # -- datagram path ----------------------------------------------------
+
+    def _datagram(self, data: bytes, addr: tuple[str, int]) -> None:
+        if self._closed:
+            return
+        try:
+            packet = decode(data)
+        except DecodeError:
+            self.stats["decode_errors"] += 1
+            return
+        self.stats["rx"] += 1
+        now = self.now
+        actions: list[Action] = []
+        for machine in self.machines:
+            actions.extend(machine.handle(packet, addr, now))
+        # Synchronous execution: sends on datagram transports don't block.
+        self._execute_sync(actions)
+        self._reschedule()
+
+    def _poll(self) -> None:
+        if self._closed:
+            return
+        self._wakeup_handle = None
+        now = self.now
+        actions: list[Action] = []
+        for machine in self.machines:
+            actions.extend(machine.poll(now))
+        self._execute_sync(actions)
+        self._reschedule()
+
+    # -- action execution ----------------------------------------------------
+
+    async def _execute(self, actions: list[Action]) -> None:
+        """Execute actions, awaiting group joins (socket setup)."""
+        for action in actions:
+            if isinstance(action, JoinGroup):
+                await self.join_group(action.group)
+            else:
+                self._execute_sync([action])
+
+    def _execute_sync(self, actions: list[Action]) -> None:
+        for action in actions:
+            if isinstance(action, SendUnicast):
+                self.stats["tx_unicast"] += 1
+                assert self._unicast_transport is not None
+                self._unicast_transport.sendto(encode(action.packet), action.dest)
+            elif isinstance(action, SendMulticast):
+                self._send_multicast(action)
+            elif isinstance(action, Deliver):
+                self.delivered.append(action)
+                self.delivery_queue.put_nowait(action)
+                if self._on_deliver is not None:
+                    self._on_deliver(action, self.now)
+            elif isinstance(action, Notify):
+                self.events.append(action.event)
+                if self._on_event is not None:
+                    self._on_event(action.event, self.now)
+            elif isinstance(action, JoinGroup):
+                # From a sync context (poll/datagram): schedule the join.
+                assert self._loop is not None
+                self._loop.create_task(self.join_group(action.group))
+            elif isinstance(action, LeaveGroup):
+                self.leave_group(action.group)
+            else:  # pragma: no cover - future action types
+                raise TypeError(f"unknown action {action!r}")
+
+    def _send_multicast(self, action: SendMulticast) -> None:
+        assert self._mcast_send_transport is not None and self._mcast_send_sock is not None
+        self.stats["tx_multicast"] += 1
+        if action.ttl is not None:
+            set_multicast_ttl(self._mcast_send_sock, action.ttl)
+        addr, port = self._directory.resolve(action.group)
+        self._mcast_send_transport.sendto(encode(action.packet), (addr, port))
+        if action.ttl is not None:
+            set_multicast_ttl(self._mcast_send_sock, 1)
+
+    # -- wakeup plumbing ----------------------------------------------------
+
+    def _reschedule(self) -> None:
+        if self._closed or self._loop is None:
+            return
+        deadlines = [m.next_wakeup() for m in self.machines]
+        deadlines = [d for d in deadlines if d is not None]
+        next_due = min(deadlines) if deadlines else None
+        if next_due is None:
+            if self._wakeup_handle is not None:
+                self._wakeup_handle.cancel()
+                self._wakeup_handle = None
+            return
+        if self._wakeup_handle is not None:
+            if self._wakeup_handle.when() <= next_due:
+                return
+            self._wakeup_handle.cancel()
+        self._wakeup_handle = self._loop.call_at(next_due, self._poll)

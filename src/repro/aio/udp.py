@@ -1,0 +1,71 @@
+"""UDP socket construction for the asyncio LBRM runtime.
+
+Plain helpers around the socket options multicast needs: membership,
+loopback, TTL, interface selection.  Defaults target the loopback
+interface so the whole protocol stack can be exercised on one machine
+(CI, laptops) — pass a real interface address for LAN deployments.
+"""
+
+from __future__ import annotations
+
+import socket
+import struct
+
+__all__ = [
+    "make_unicast_socket",
+    "make_multicast_recv_socket",
+    "make_multicast_send_socket",
+    "set_multicast_ttl",
+]
+
+DEFAULT_INTERFACE = "127.0.0.1"
+
+
+def make_unicast_socket(host: str = "127.0.0.1", port: int = 0) -> socket.socket:
+    """A bound, non-blocking UDP socket for point-to-point traffic."""
+    sock = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
+    sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+    sock.bind((host, port))
+    sock.setblocking(False)
+    return sock
+
+
+def make_multicast_recv_socket(
+    group_addr: str, port: int, interface: str = DEFAULT_INTERFACE
+) -> socket.socket:
+    """A socket joined to ``group_addr`` and bound to its port."""
+    sock = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
+    sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+    # SO_REUSEPORT lets several local endpoints (receivers in one test
+    # process) share the group port, mirroring distinct hosts on a LAN.
+    if hasattr(socket, "SO_REUSEPORT"):
+        sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEPORT, 1)
+    sock.bind(("", port))
+    mreq = struct.pack("4s4s", socket.inet_aton(group_addr), socket.inet_aton(interface))
+    sock.setsockopt(socket.IPPROTO_IP, socket.IP_ADD_MEMBERSHIP, mreq)
+    sock.setblocking(False)
+    return sock
+
+
+def make_multicast_send_socket(interface: str = DEFAULT_INTERFACE, ttl: int = 1) -> socket.socket:
+    """A socket configured to originate multicast on ``interface``.
+
+    Loopback is enabled so co-located endpoints (and the sender's own
+    primary logger) hear the transmission — required for single-machine
+    operation and harmless on real LANs.
+    """
+    sock = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
+    sock.setsockopt(socket.IPPROTO_IP, socket.IP_MULTICAST_TTL, ttl)
+    sock.setsockopt(socket.IPPROTO_IP, socket.IP_MULTICAST_LOOP, 1)
+    sock.setsockopt(socket.IPPROTO_IP, socket.IP_MULTICAST_IF, socket.inet_aton(interface))
+    sock.setblocking(False)
+    return sock
+
+
+def set_multicast_ttl(sock: socket.socket, ttl: int) -> None:
+    """Adjust the TTL on an existing multicast send socket.
+
+    LBRM uses small TTLs to scope repairs to a site (§2.2.1); the node
+    runtime calls this per-send when an action carries an explicit TTL.
+    """
+    sock.setsockopt(socket.IPPROTO_IP, socket.IP_MULTICAST_TTL, max(1, ttl))

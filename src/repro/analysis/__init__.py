@@ -1,0 +1,39 @@
+"""Closed-form analysis and reporting for the paper's figures and tables."""
+
+from repro.analysis.bandwidth import GroupBandwidth, MessageSizes, group_bandwidth
+from repro.analysis.estimation_math import (
+    loss_detection_bound,
+    nsl_stddev,
+    nsl_stddev_after_probes,
+    table2_rows,
+    worst_case_detection_time,
+)
+from repro.analysis.heartbeat_math import (
+    fixed_heartbeat_count,
+    fixed_rate,
+    overhead_ratio,
+    table1_rows,
+    variable_heartbeat_count,
+    variable_rate,
+)
+from repro.analysis.report import format_comparison, format_series, format_table
+
+__all__ = [
+    "GroupBandwidth",
+    "MessageSizes",
+    "group_bandwidth",
+    "loss_detection_bound",
+    "nsl_stddev",
+    "nsl_stddev_after_probes",
+    "table2_rows",
+    "worst_case_detection_time",
+    "fixed_heartbeat_count",
+    "fixed_rate",
+    "overhead_ratio",
+    "table1_rows",
+    "variable_heartbeat_count",
+    "variable_rate",
+    "format_comparison",
+    "format_series",
+    "format_table",
+]

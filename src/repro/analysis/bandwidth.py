@@ -1,0 +1,95 @@
+"""Byte-level bandwidth accounting for LBRM deployments.
+
+The paper argues in packets/second (the DIS bottleneck is per-packet
+processing and tail-circuit load), but an adopter sizing a T1 tail
+circuit needs bytes.  This module prices the protocol's message types
+from their actual wire encodings and evaluates steady-state bandwidth
+for a group: data, heartbeats (fixed vs variable), statack overhead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.heartbeat_math import fixed_rate, variable_rate
+from repro.core.config import HeartbeatConfig, StatAckConfig
+from repro.core.packets import (
+    AckerSelectPacket,
+    DataAckPacket,
+    DataPacket,
+    HeartbeatPacket,
+    encode,
+)
+
+__all__ = ["MessageSizes", "GroupBandwidth", "group_bandwidth"]
+
+T1_BPS = 1_544_000.0  # the paper's tail-circuit technology
+
+
+@dataclass(frozen=True, slots=True)
+class MessageSizes:
+    """Wire sizes (bytes) for a group's message types."""
+
+    data: int
+    heartbeat: int
+    data_ack: int
+    acker_select: int
+
+    @classmethod
+    def for_group(cls, group: str, payload_size: int) -> "MessageSizes":
+        """Price the messages by actually encoding them."""
+        return cls(
+            data=len(encode(DataPacket(group=group, seq=1, payload=b"\x00" * payload_size))),
+            heartbeat=len(encode(HeartbeatPacket(group=group, seq=1, hb_index=1))),
+            data_ack=len(encode(DataAckPacket(group=group, epoch=1, seq=1))),
+            acker_select=len(encode(AckerSelectPacket(group=group, epoch=1, p_ack=0.1, k=10))),
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class GroupBandwidth:
+    """Steady-state downstream bandwidth for one group (bytes/second)."""
+
+    data_bps: float
+    heartbeat_bps: float
+    statack_bps: float
+
+    @property
+    def total_bps(self) -> float:
+        return self.data_bps + self.heartbeat_bps + self.statack_bps
+
+    def tail_fraction(self, tail_bps: float = T1_BPS) -> float:
+        """Share of a tail circuit this group consumes (bits over bytes×8)."""
+        return (self.total_bps * 8.0) / tail_bps
+
+
+def group_bandwidth(
+    group: str = "dis/terrain/1",
+    payload_size: int = 128,
+    data_interval: float = 120.0,
+    heartbeat: HeartbeatConfig | None = None,
+    statack: StatAckConfig | None = None,
+) -> GroupBandwidth:
+    """Steady-state bandwidth of one LBRM group on a receiving tail.
+
+    ``statack`` adds the per-epoch selection packet amortized over the
+    epoch (ACKs flow upstream and are excluded from the downstream
+    figure).  Pass a fixed :class:`HeartbeatConfig` for the baseline.
+    """
+    if payload_size < 0:
+        raise ValueError(f"payload_size must be >= 0, got {payload_size}")
+    if data_interval <= 0:
+        raise ValueError(f"data_interval must be positive, got {data_interval}")
+    hb_cfg = heartbeat or HeartbeatConfig()
+    sizes = MessageSizes.for_group(group, payload_size)
+    data_bps = sizes.data / data_interval
+    if hb_cfg.is_fixed:
+        hb_rate = fixed_rate(data_interval, hb_cfg.h_min)
+    else:
+        hb_rate = variable_rate(data_interval, hb_cfg)
+    heartbeat_bps = sizes.heartbeat * hb_rate
+    statack_bps = 0.0
+    if statack is not None:
+        packets_per_epoch = statack.epoch_length
+        statack_bps = sizes.acker_select / (packets_per_epoch * data_interval)
+    return GroupBandwidth(data_bps=data_bps, heartbeat_bps=heartbeat_bps, statack_bps=statack_bps)

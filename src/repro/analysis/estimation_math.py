@@ -1,0 +1,74 @@
+"""Group-size estimation accuracy (Table 2) and loss-detection bounds
+(§2.1.1), in closed form.
+
+Table 2: with N secondary loggers each replying to a probe independently
+with probability p, the estimator ``replies / p`` has standard deviation
+``σ₁ = √(N(1-p)/p)``; averaging n probes divides by √n.  (These wrap the
+functions in :mod:`repro.core.estimator` so the analysis namespace is
+complete.)
+
+§2.1.1: with the variable heartbeat, an isolated loss is detected within
+``h_min`` and a burst of duration ``t_burst`` within
+``min(backoff · t_burst, h_max)`` of the data packet that opened it.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.config import HeartbeatConfig
+from repro.core.estimator import nsl_stddev, nsl_stddev_after_probes
+
+__all__ = [
+    "nsl_stddev",
+    "nsl_stddev_after_probes",
+    "table2_rows",
+    "loss_detection_bound",
+    "worst_case_detection_time",
+]
+
+
+def table2_rows(probes: tuple[int, ...] = (1, 2, 3, 4, 5)) -> list[tuple[int, float]]:
+    """(probe count, σ/σ₁) rows of Table 2 — 1, 0.707, 0.577, 0.5, 0.447."""
+    return [(n, 1.0 / math.sqrt(n)) for n in probes]
+
+
+def loss_detection_bound(t_burst: float, config: HeartbeatConfig | None = None) -> float:
+    """§2.1.1's analytic bound on loss-detection delay after a burst.
+
+    Measured from the lost data packet's transmission: "a heartbeat will
+    arrive no longer than t_burst after the network returns to normal"
+    (the inter-heartbeat gap at elapsed time t is at most (k-1)·t for
+    backoff k, and the h_max cap bounds it absolutely), so the total is
+    ``t_burst + min((backoff-1)·t_burst, h_max)`` — the paper's
+    "2 × t_burst (or h_max, whichever is smaller)" with the cap applying
+    to the post-burst tail.  Isolated losses (t_burst ≤ h_min) are found
+    by the first heartbeat at h_min.
+    """
+    cfg = config or HeartbeatConfig()
+    if t_burst < 0:
+        raise ValueError(f"t_burst must be non-negative, got {t_burst}")
+    if t_burst <= cfg.h_min:
+        return cfg.h_min
+    return t_burst + min((cfg.backoff - 1.0) * t_burst, cfg.h_max)
+
+
+def worst_case_detection_time(t_burst: float, config: HeartbeatConfig | None = None) -> float:
+    """Exact worst-case detection delay for a burst starting at a data packet.
+
+    The first heartbeat transmitted at or after the burst's end is the
+    one that reveals the loss: beats go out at cumulative offsets
+    ``h_min, h_min(1+b), …`` (capped per-interval at ``h_max``), so the
+    exact delay is the first such offset ≥ ``t_burst``.  Always ≤ the
+    analytic bound of :func:`loss_detection_bound` plus ``h_max`` in the
+    deep-idle corner the paper's bound also concedes.
+    """
+    cfg = config or HeartbeatConfig()
+    if t_burst < 0:
+        raise ValueError(f"t_burst must be non-negative, got {t_burst}")
+    h = cfg.h_min
+    t = h
+    while t < t_burst:
+        h = min(h * cfg.backoff, cfg.h_max)
+        t += h
+    return t

@@ -1,0 +1,100 @@
+"""Closed-form heartbeat overhead analysis (Figures 4 & 5, Table 1).
+
+For a periodic data stream with inter-packet interval ``dt``:
+
+* the **fixed** scheme emits a heartbeat every ``h_min`` while idle, so
+  ``floor(dt / h_min)`` beats sit strictly inside each interval (a beat
+  landing exactly on the next data time is preempted);
+* the **variable** scheme emits beats at cumulative offsets
+  ``h_min, h_min(1+b), h_min(1+b+b²), …`` with each interval capped at
+  ``h_max`` — counted exactly by :func:`variable_heartbeat_count`.
+
+Rates are counts divided by ``dt``.  As ``dt`` grows, the variable rate
+approaches ``1/h_max`` while the fixed rate stays at ``1/h_min`` — the
+two asymptotes in Figure 4.  At the paper's DIS operating point
+(``dt = 120`` s, backoff 2) the ratio is 480/9 = **53.3**, the Figure 5
+marked point and the Table 1 backoff-2 row.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.config import HeartbeatConfig
+
+__all__ = [
+    "fixed_heartbeat_count",
+    "variable_heartbeat_count",
+    "fixed_rate",
+    "variable_rate",
+    "overhead_ratio",
+    "table1_rows",
+]
+
+_EPS = 1e-9  # tolerance for beats landing exactly on a data-packet time
+
+
+def fixed_heartbeat_count(dt: float, interval: float) -> int:
+    """Heartbeats strictly inside one inter-data interval, fixed scheme."""
+    if dt <= 0:
+        raise ValueError(f"dt must be positive, got {dt}")
+    if interval <= 0:
+        raise ValueError(f"interval must be positive, got {interval}")
+    count = math.floor(dt / interval + _EPS)
+    # A beat exactly at dt is preempted by the data packet itself.
+    if abs(count * interval - dt) < _EPS:
+        count -= 1
+    return max(count, 0)
+
+
+def variable_heartbeat_count(dt: float, config: HeartbeatConfig | None = None) -> int:
+    """Heartbeats strictly inside one inter-data interval, variable scheme."""
+    if dt <= 0:
+        raise ValueError(f"dt must be positive, got {dt}")
+    cfg = config or HeartbeatConfig()
+    count = 0
+    h = cfg.h_min
+    t = h
+    while t < dt - _EPS:
+        count += 1
+        h = min(h * cfg.backoff, cfg.h_max)
+        t += h
+    return count
+
+
+def fixed_rate(dt: float, interval: float = 0.25) -> float:
+    """Fixed-scheme heartbeat packets per second at data interval ``dt``."""
+    return fixed_heartbeat_count(dt, interval) / dt
+
+
+def variable_rate(dt: float, config: HeartbeatConfig | None = None) -> float:
+    """Variable-scheme heartbeat packets per second at data interval ``dt``."""
+    return variable_heartbeat_count(dt, config) / dt
+
+
+def overhead_ratio(dt: float, config: HeartbeatConfig | None = None) -> float:
+    """Fixed/variable heartbeat-count ratio (Figure 5's y-axis).
+
+    Returns ``inf`` when the variable scheme emits nothing (dt <= h_min)
+    while the fixed scheme does; 1.0 when neither emits (dt below both).
+    """
+    cfg = config or HeartbeatConfig()
+    fixed = fixed_heartbeat_count(dt, cfg.h_min)
+    variable = variable_heartbeat_count(dt, cfg)
+    if variable == 0:
+        return math.inf if fixed > 0 else 1.0
+    return fixed / variable
+
+
+def table1_rows(
+    dt: float = 120.0,
+    backoffs: tuple[float, ...] = (1.5, 2.0, 2.5, 3.0, 3.5, 4.0),
+    h_min: float = 0.25,
+    h_max: float = 32.0,
+) -> list[tuple[float, float]]:
+    """The (backoff, overhead ratio) rows of Table 1."""
+    rows = []
+    for backoff in backoffs:
+        cfg = HeartbeatConfig(h_min=h_min, h_max=h_max, backoff=backoff)
+        rows.append((backoff, overhead_ratio(dt, cfg)))
+    return rows

@@ -1,0 +1,40 @@
+"""Applications of LBRM (§4): DIS terrain, cache invalidation, stock
+quotes, WWW page invalidation (Appendix A), and factory automation."""
+
+from repro.apps.cache import (
+    CacheClient,
+    InvalidationKind,
+    InvalidationMessage,
+    InvalidationServer,
+    LeaseClient,
+)
+from repro.apps.factory import AuditLog, MobileMonitor, SensorReading
+from repro.apps.ticker import Quote, QuoteBoard, QuoteFeed
+from repro.apps.webinval import (
+    BrowserClient,
+    HttpInvalidationServer,
+    WebMessage,
+    WebMessageKind,
+    make_multicast_comment,
+    parse_multicast_comment,
+)
+
+__all__ = [
+    "CacheClient",
+    "InvalidationKind",
+    "InvalidationMessage",
+    "InvalidationServer",
+    "LeaseClient",
+    "AuditLog",
+    "MobileMonitor",
+    "SensorReading",
+    "Quote",
+    "QuoteBoard",
+    "QuoteFeed",
+    "BrowserClient",
+    "HttpInvalidationServer",
+    "WebMessage",
+    "WebMessageKind",
+    "make_multicast_comment",
+    "parse_multicast_comment",
+]

@@ -1,0 +1,28 @@
+"""Distributed Interactive Simulation terrain workload (§1, §2.1.2)."""
+
+from repro.apps.dis.deadreckoning import (
+    DeadReckoningMirror,
+    DeadReckoningSource,
+    KinematicState,
+)
+from repro.apps.dis.scenario import (
+    DisScenario,
+    ScenarioRates,
+    ScheduledUpdate,
+    scenario_packet_rates,
+)
+from repro.apps.dis.terrain import TerrainDatabase, TerrainEntity, TerrainKind, TerrainState
+
+__all__ = [
+    "DeadReckoningMirror",
+    "DeadReckoningSource",
+    "KinematicState",
+    "DisScenario",
+    "ScenarioRates",
+    "ScheduledUpdate",
+    "scenario_packet_rates",
+    "TerrainDatabase",
+    "TerrainEntity",
+    "TerrainKind",
+    "TerrainState",
+]

@@ -1,0 +1,147 @@
+"""DIS terrain entities — the paper's motivating workload (§1, §2.1.2).
+
+Terrain entities (bridges, trees, fences, buildings) are "completely
+static for some considerable length of time", then change state — the
+destroyed bridge every tank must see within a fraction of a second.
+:class:`TerrainEntity` models one such entity: a small state record with
+a version, serialized into LBRM data payloads.  :class:`TerrainDatabase`
+is the receiver-side cache of entity states, applying updates as they
+are delivered (including out-of-order recoveries, which are dropped when
+superseded — receiver-reliable semantics at work).
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from enum import IntEnum
+
+__all__ = ["TerrainKind", "TerrainState", "TerrainEntity", "TerrainDatabase"]
+
+
+class TerrainKind(IntEnum):
+    """Aggregate terrain entity categories from the paper's scenario."""
+
+    ROCK = 0
+    TREE = 1
+    FENCE = 2
+    BRIDGE = 3
+    BUILDING = 4
+
+
+_STATE = struct.Struct("!IBBddd")  # entity_id, kind, condition, x, y, version-as-double? no:
+_STATE = struct.Struct("!IBBQddd")  # entity_id, kind, condition, version, x, y, heading
+
+
+@dataclass(frozen=True, slots=True)
+class TerrainState:
+    """One versioned snapshot of a terrain entity.
+
+    ``condition`` is 0–255 (255 = intact, 0 = destroyed); ``version``
+    increases with every state change so receivers can discard stale
+    recoveries.
+    """
+
+    entity_id: int
+    kind: TerrainKind
+    condition: int
+    version: int
+    x: float
+    y: float
+    heading: float = 0.0
+
+    def encode(self) -> bytes:
+        """Serialize for an LBRM data payload."""
+        return _STATE.pack(
+            self.entity_id, int(self.kind), self.condition, self.version, self.x, self.y, self.heading
+        )
+
+    @classmethod
+    def decode(cls, data: bytes) -> "TerrainState":
+        entity_id, kind, condition, version, x, y, heading = _STATE.unpack(data[: _STATE.size])
+        return cls(
+            entity_id=entity_id,
+            kind=TerrainKind(kind),
+            condition=condition,
+            version=version,
+            x=x,
+            y=y,
+            heading=heading,
+        )
+
+
+class TerrainEntity:
+    """Source-side entity: owns the authoritative state and its version."""
+
+    def __init__(self, entity_id: int, kind: TerrainKind, x: float, y: float) -> None:
+        self._state = TerrainState(
+            entity_id=entity_id, kind=kind, condition=255, version=1, x=x, y=y
+        )
+
+    @property
+    def state(self) -> TerrainState:
+        return self._state
+
+    @property
+    def entity_id(self) -> int:
+        return self._state.entity_id
+
+    def damage(self, amount: int) -> TerrainState:
+        """Apply damage; returns the new state to disseminate."""
+        condition = max(0, self._state.condition - amount)
+        return self._mutate(condition=condition)
+
+    def destroy(self) -> TerrainState:
+        """The destroyed-bridge event: condition drops to zero."""
+        return self._mutate(condition=0)
+
+    def repair(self) -> TerrainState:
+        return self._mutate(condition=255)
+
+    def _mutate(self, **changes) -> TerrainState:
+        current = self._state
+        self._state = TerrainState(
+            entity_id=current.entity_id,
+            kind=current.kind,
+            condition=changes.get("condition", current.condition),
+            version=current.version + 1,
+            x=changes.get("x", current.x),
+            y=changes.get("y", current.y),
+            heading=changes.get("heading", current.heading),
+        )
+        return self._state
+
+
+class TerrainDatabase:
+    """Receiver-side cache of terrain states (one per entity).
+
+    ``apply`` enforces version monotonicity: a recovered update that was
+    superseded while it was being retransmitted is dropped — the paper's
+    receiver-reliable argument that late data may be worthless to a
+    real-time application.
+    """
+
+    def __init__(self) -> None:
+        self._states: dict[int, TerrainState] = {}
+        self.stats = {"applied": 0, "stale_dropped": 0}
+
+    def apply(self, payload: bytes) -> TerrainState | None:
+        """Apply a delivered update; returns the new state or None if stale."""
+        state = TerrainState.decode(payload)
+        current = self._states.get(state.entity_id)
+        if current is not None and current.version >= state.version:
+            self.stats["stale_dropped"] += 1
+            return None
+        self._states[state.entity_id] = state
+        self.stats["applied"] += 1
+        return state
+
+    def get(self, entity_id: int) -> TerrainState | None:
+        return self._states.get(entity_id)
+
+    def __len__(self) -> int:
+        return len(self._states)
+
+    def destroyed(self) -> list[int]:
+        """Entity ids currently known destroyed (condition 0)."""
+        return sorted(eid for eid, s in self._states.items() if s.condition == 0)

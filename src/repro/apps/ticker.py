@@ -1,0 +1,119 @@
+"""Stock-quote dissemination over LBRM (§4.1).
+
+"Examples of such 'information dissemination' applications arise for
+distributing real-time stock quotes to brokers' terminals (and
+eventually to the public at large)..."
+
+:class:`QuoteFeed` generates a deterministic geometric-random-walk price
+stream per symbol and encodes quotes as LBRM payloads;
+:class:`QuoteBoard` is the receiving terminal's book of latest quotes,
+tolerant of out-of-order recovery (older quotes never overwrite newer
+ones).
+"""
+
+from __future__ import annotations
+
+import random
+import struct
+from dataclasses import dataclass
+
+__all__ = ["Quote", "QuoteFeed", "QuoteBoard"]
+
+_QUOTE = struct.Struct("!H8sQqI")  # symbol len(unused pad), symbol, quote_id, price_cents, size
+
+
+@dataclass(frozen=True, slots=True)
+class Quote:
+    """One trade print: symbol, monotone per-symbol id, price, size."""
+
+    symbol: str
+    quote_id: int
+    price_cents: int
+    size: int
+
+    def encode(self) -> bytes:
+        raw = self.symbol.encode("ascii")
+        if len(raw) > 8:
+            raise ValueError(f"symbol too long: {self.symbol!r}")
+        return _QUOTE.pack(len(raw), raw.ljust(8, b"\x00"), self.quote_id, self.price_cents, self.size)
+
+    @classmethod
+    def decode(cls, data: bytes) -> "Quote":
+        length, raw, quote_id, price_cents, size = _QUOTE.unpack(data[: _QUOTE.size])
+        return cls(
+            symbol=raw[:length].decode("ascii"),
+            quote_id=quote_id,
+            price_cents=price_cents,
+            size=size,
+        )
+
+
+class QuoteFeed:
+    """Source-side quote generator (geometric random walk per symbol)."""
+
+    def __init__(
+        self,
+        symbols: tuple[str, ...] = ("ACME", "GLOBEX", "INITECH"),
+        start_price_cents: int = 10_000,
+        volatility: float = 0.002,
+        rng: random.Random | None = None,
+    ) -> None:
+        if not symbols:
+            raise ValueError("need at least one symbol")
+        if volatility < 0:
+            raise ValueError(f"volatility must be non-negative, got {volatility}")
+        self._rng = rng or random.Random(0)
+        self._volatility = volatility
+        self._prices: dict[str, float] = {s: float(start_price_cents) for s in symbols}
+        self._ids: dict[str, int] = {s: 0 for s in symbols}
+
+    @property
+    def symbols(self) -> tuple[str, ...]:
+        return tuple(self._prices)
+
+    def tick(self, symbol: str) -> Quote:
+        """Advance ``symbol`` one step and return the quote to publish."""
+        price = self._prices[symbol]
+        price *= 1.0 + self._rng.gauss(0.0, self._volatility)
+        price = max(price, 1.0)
+        self._prices[symbol] = price
+        self._ids[symbol] += 1
+        return Quote(
+            symbol=symbol,
+            quote_id=self._ids[symbol],
+            price_cents=int(round(price)),
+            size=self._rng.randint(1, 100) * 100,
+        )
+
+    def tick_random(self) -> Quote:
+        """Advance a uniformly chosen symbol."""
+        return self.tick(self._rng.choice(self.symbols))
+
+
+class QuoteBoard:
+    """A broker terminal's latest-quote book.
+
+    Quotes apply only if newer than the held one, so a recovered quote
+    that was superseded in flight is dropped (and counted) — the
+    receiver-reliable pattern every app in this package shares.
+    """
+
+    def __init__(self) -> None:
+        self._book: dict[str, Quote] = {}
+        self.stats = {"applied": 0, "stale_dropped": 0}
+
+    def apply(self, payload: bytes) -> Quote | None:
+        quote = Quote.decode(payload)
+        current = self._book.get(quote.symbol)
+        if current is not None and current.quote_id >= quote.quote_id:
+            self.stats["stale_dropped"] += 1
+            return None
+        self._book[quote.symbol] = quote
+        self.stats["applied"] += 1
+        return quote
+
+    def last(self, symbol: str) -> Quote | None:
+        return self._book.get(symbol)
+
+    def __len__(self) -> int:
+        return len(self._book)

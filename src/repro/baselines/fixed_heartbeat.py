@@ -1,0 +1,36 @@
+"""Fixed-heartbeat baseline (§2.1.2).
+
+The basic receiver-reliable protocol sends a heartbeat every MaxIT
+whenever the application is idle.  In this codebase that is simply an
+LBRM sender whose heartbeat config has ``backoff = 1`` — the variable
+schedule degenerates to a constant period — so the baseline shares every
+other code path with the real protocol and comparisons isolate exactly
+the scheduling difference.
+"""
+
+from __future__ import annotations
+
+from repro.core.config import HeartbeatConfig, LbrmConfig
+
+__all__ = ["fixed_heartbeat_config", "FIXED_DEFAULT"]
+
+FIXED_DEFAULT = HeartbeatConfig(h_min=0.25, h_max=0.25, backoff=1.0)
+
+
+def fixed_heartbeat_config(interval: float = 0.25, base: LbrmConfig | None = None) -> LbrmConfig:
+    """An :class:`LbrmConfig` whose sender heartbeats at a fixed rate.
+
+    ``interval`` should equal the variable scheme's ``h_min`` for an
+    apples-to-apples comparison (both then give the same detection delay
+    for isolated losses).
+    """
+    base = base or LbrmConfig()
+    fixed = HeartbeatConfig(h_min=interval, h_max=interval, backoff=1.0)
+    return LbrmConfig(
+        heartbeat=fixed,
+        receiver=base.receiver,
+        logger=base.logger,
+        statack=base.statack,
+        replication=base.replication,
+        discovery=base.discovery,
+    )

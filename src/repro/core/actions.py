@@ -1,0 +1,122 @@
+"""Actions emitted by sans-IO protocol machines.
+
+Every protocol machine in :mod:`repro.core` is I/O-free: it consumes
+packets and clock readings and returns a list of :class:`Action`
+objects describing what the surrounding harness should do.  Two
+harnesses exist — the deterministic discrete-event simulator
+(:mod:`repro.simnet`) and the real asyncio UDP runtime
+(:mod:`repro.aio`) — and both interpret the same action vocabulary.
+
+Addresses are deliberately opaque: the simulator uses node-name strings
+while the asyncio runtime uses ``(host, port)`` tuples.  Machines never
+inspect addresses beyond equality and hashing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable, TYPE_CHECKING
+
+if TYPE_CHECKING:
+    from repro.core.packets import Packet
+    from repro.core.events import Event
+
+__all__ = [
+    "Address",
+    "GroupId",
+    "Action",
+    "SendUnicast",
+    "SendMulticast",
+    "Deliver",
+    "Notify",
+    "JoinGroup",
+    "LeaveGroup",
+]
+
+# An address is any hashable token the transport understands.
+Address = Hashable
+# Multicast group identifier (group address string in both harnesses).
+GroupId = str
+
+
+class Action:
+    """Marker base class for all protocol actions."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True, slots=True)
+class SendUnicast(Action):
+    """Transmit ``packet`` point-to-point to ``dest``."""
+
+    dest: Address
+    packet: "Packet"
+
+
+@dataclass(frozen=True, slots=True)
+class SendMulticast(Action):
+    """Transmit ``packet`` to multicast ``group``.
+
+    ``ttl`` limits propagation scope: the simulator interprets it as a
+    hop count (1 = stay within the site LAN), matching the paper's use
+    of the IP TTL field to keep secondary-logger re-multicasts local
+    (§2.2.1).  ``None`` means unrestricted (group-wide).
+    """
+
+    group: GroupId
+    packet: "Packet"
+    ttl: int | None = None
+
+
+@dataclass(frozen=True, slots=True)
+class Deliver(Action):
+    """Hand application payload up the stack.
+
+    ``recovered`` is True when the payload arrived via a retransmission
+    rather than the original multicast — applications with freshness
+    semantics may treat recovered data differently (e.g. skip superseded
+    updates).
+    """
+
+    seq: int
+    payload: bytes
+    recovered: bool = False
+
+
+@dataclass(frozen=True, slots=True)
+class Notify(Action):
+    """Surface a protocol event (loss detected, epoch change, …)."""
+
+    event: "Event"
+
+
+@dataclass(frozen=True, slots=True)
+class JoinGroup(Action):
+    """Subscribe the local endpoint to multicast ``group``."""
+
+    group: GroupId
+
+
+@dataclass(frozen=True, slots=True)
+class LeaveGroup(Action):
+    """Unsubscribe the local endpoint from multicast ``group``."""
+
+    group: GroupId
+
+
+def sends(actions: list[Action]) -> list[Action]:
+    """Filter ``actions`` down to transmissions (unicast or multicast).
+
+    Convenience for tests and harnesses that only route traffic.
+    """
+    return [a for a in actions if isinstance(a, (SendUnicast, SendMulticast))]
+
+
+def deliveries(actions: list[Action]) -> list[Deliver]:
+    """Filter ``actions`` down to application deliveries."""
+    return [a for a in actions if isinstance(a, Deliver)]
+
+
+def notifications(actions: list[Action]) -> list[Notify]:
+    """Filter ``actions`` down to protocol event notifications."""
+    return [a for a in actions if isinstance(a, Notify)]

@@ -1,0 +1,247 @@
+"""Estimators for statistical acknowledgement (§2.3.2–§2.3.3).
+
+Three estimators, all exponentially-weighted in the style the paper
+attributes to Jacobson's TCP RTT estimator:
+
+* :class:`TWaitEstimator` — the source's per-packet ACK-collection
+  window: ``t'_wait = α·rtt_new + (1-α)·t_wait`` where ``rtt_new`` is
+  the arrival time of the last ACK, capped at ``2·t_wait``.
+* :class:`GroupSizeEstimator` — the Bolot/Turletti/Wakeman probing
+  protocol that bootstraps ``N_sl`` plus the paper's per-packet EWMA
+  refinement ``N' = (1-α)·N + α·k'/p_ack``.
+* :func:`nsl_stddev` / :func:`nsl_stddev_after_probes` — the closed-form
+  accuracy figures of Table 2.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.errors import ConfigError
+
+__all__ = [
+    "EwmaEstimator",
+    "TWaitEstimator",
+    "ProbeRound",
+    "GroupSizeEstimator",
+    "nsl_stddev",
+    "nsl_stddev_after_probes",
+]
+
+
+class EwmaEstimator:
+    """Generic exponentially-weighted moving average.
+
+    ``estimate' = (1 - alpha) * estimate + alpha * sample``
+    """
+
+    def __init__(self, alpha: float, initial: float) -> None:
+        if not 0.0 < alpha <= 1.0:
+            raise ConfigError(f"alpha must be in (0, 1], got {alpha}")
+        self._alpha = alpha
+        self._estimate = initial
+        self._samples = 0
+
+    @property
+    def estimate(self) -> float:
+        return self._estimate
+
+    @property
+    def samples(self) -> int:
+        """How many samples have been folded in."""
+        return self._samples
+
+    def update(self, sample: float) -> float:
+        """Fold in ``sample`` and return the new estimate."""
+        self._estimate = (1.0 - self._alpha) * self._estimate + self._alpha * sample
+        self._samples += 1
+        return self._estimate
+
+    def reset(self, value: float) -> None:
+        """Hard-set the estimate (e.g. epoch restart with prior knowledge)."""
+        self._estimate = value
+        self._samples = 0
+
+
+class TWaitEstimator:
+    """The source's ACK-collection window estimator (§2.3.2).
+
+    ``rtt_new`` is "the time at which the last ACK to a data packet
+    arrives, up to time 2×t_wait" — the cap lets the source eventually
+    assert that an ACK was genuinely lost rather than merely slow.
+    """
+
+    def __init__(self, alpha: float = 0.125, initial: float = 0.1) -> None:
+        if initial <= 0:
+            raise ConfigError(f"initial t_wait must be positive, got {initial}")
+        self._ewma = EwmaEstimator(alpha=alpha, initial=initial)
+
+    @property
+    def t_wait(self) -> float:
+        return self._ewma.estimate
+
+    @property
+    def cap(self) -> float:
+        """The 2×t_wait bound on an RTT sample."""
+        return 2.0 * self._ewma.estimate
+
+    def record_last_ack(self, rtt_new: float) -> float:
+        """Fold in the arrival time (relative to send) of a packet's last ACK."""
+        if rtt_new < 0:
+            raise ValueError(f"rtt sample must be non-negative, got {rtt_new}")
+        return self._ewma.update(min(rtt_new, self.cap))
+
+    def widen(self, factor: float = 2.0, max_value: float = 60.0) -> float:
+        """Multiplicatively inflate t_wait.
+
+        Recovery path for a seed far below the true round-trip: when an
+        Acker Selection window closes with zero responders, no ACKs can
+        ever arrive to correct the estimate, so the source widens the
+        window directly before retrying the selection.
+        """
+        if factor <= 1.0:
+            raise ValueError(f"widen factor must be > 1, got {factor}")
+        self._ewma.reset(min(self._ewma.estimate * factor, max_value))
+        return self._ewma.estimate
+
+
+@dataclass(frozen=True, slots=True)
+class ProbeRound:
+    """One Bolot probing round the estimator wants performed."""
+
+    probe_id: int
+    p_ack: float
+
+
+class GroupSizeEstimator:
+    """Estimates the number of active secondary loggers, ``N_sl``.
+
+    Bootstrap (§2.3.3, after Bolot et al.): rounds of probes with
+    increasing ``p_ack`` "to avoid causing an ACK implosion on the
+    sender"; probing stops once a round yields at least
+    ``confident_replies`` answers.  As the paper's "modest extension",
+    the final probability is then repeated ``extra_probes`` more times
+    and the estimates averaged, shrinking σ by 1/√n (Table 2).
+
+    Steady state: every Acker Selection Packet doubles as a probe, and
+    each data packet's observed ACK count ``k'`` refines the estimate via
+    ``N' = (1-α)N + α·k'/p_ack``.
+    """
+
+    def __init__(
+        self,
+        alpha: float = 0.125,
+        initial_p: float = 0.01,
+        ramp: float = 4.0,
+        confident_replies: int = 10,
+        extra_probes: int = 2,
+    ) -> None:
+        if not 0.0 < initial_p <= 1.0:
+            raise ConfigError(f"initial_p must be in (0, 1], got {initial_p}")
+        if ramp <= 1.0:
+            raise ConfigError(f"ramp must be > 1, got {ramp}")
+        if confident_replies < 1:
+            raise ConfigError("confident_replies must be >= 1")
+        if extra_probes < 0:
+            raise ConfigError("extra_probes must be >= 0")
+        self._alpha = alpha
+        self._p = initial_p
+        self._ramp = ramp
+        self._confident = confident_replies
+        self._extra = extra_probes
+        self._next_probe_id = 1
+        self._converged = False
+        self._repeat_estimates: list[float] = []
+        self._repeats_left = 0
+        self._estimate: float | None = None
+
+    @property
+    def converged(self) -> bool:
+        """True once the bootstrap phase has produced an estimate."""
+        return self._converged
+
+    @property
+    def estimate(self) -> float:
+        """Current N_sl estimate (1.0 until any evidence arrives)."""
+        return self._estimate if self._estimate is not None else 1.0
+
+    def next_round(self) -> ProbeRound | None:
+        """The next probe the source should multicast, or None when done."""
+        if self._converged:
+            return None
+        probe = ProbeRound(probe_id=self._next_probe_id, p_ack=self._p)
+        return probe
+
+    def record_round(self, probe_id: int, replies: int) -> None:
+        """Fold in the reply count of the probe round ``probe_id``.
+
+        Stale probe ids (from rounds already superseded) are ignored so
+        late replies cannot corrupt the ramp.
+        """
+        if self._converged or probe_id != self._next_probe_id:
+            return
+        self._next_probe_id += 1
+        if self._repeats_left > 0:
+            # Repeating the final probability to average down the variance.
+            self._repeat_estimates.append(replies / self._p)
+            self._repeats_left -= 1
+            if self._repeats_left == 0:
+                self._finish_bootstrap()
+            return
+        if replies >= self._confident:
+            self._repeat_estimates = [replies / self._p]
+            self._repeats_left = self._extra
+            if self._repeats_left == 0:
+                self._finish_bootstrap()
+            return
+        # Not confident yet: raise the probability and try again.
+        if self._p >= 1.0:
+            # Everyone was asked to reply; the group simply is this small.
+            self._estimate = float(max(replies, 1))
+            self._converged = True
+            return
+        self._p = min(1.0, self._p * self._ramp)
+
+    def refine(self, k_prime: int, p_ack: float) -> float:
+        """Steady-state EWMA refinement from a data packet's ACK count."""
+        if not 0.0 < p_ack <= 1.0:
+            raise ValueError(f"p_ack must be in (0, 1], got {p_ack}")
+        sample = k_prime / p_ack
+        if self._estimate is None:
+            self._estimate = max(sample, 1.0)
+        else:
+            self._estimate = (1.0 - self._alpha) * self._estimate + self._alpha * sample
+            self._estimate = max(self._estimate, 1.0)
+        return self._estimate
+
+    def seed(self, n_sl: float) -> None:
+        """Skip bootstrap with prior knowledge (static configuration)."""
+        self._estimate = max(n_sl, 1.0)
+        self._converged = True
+
+    def _finish_bootstrap(self) -> None:
+        mean = sum(self._repeat_estimates) / len(self._repeat_estimates)
+        self._estimate = max(mean, 1.0)
+        self._converged = True
+
+
+def nsl_stddev(n: float, p_ack: float) -> float:
+    """σ of a single-probe N_sl estimate: √(N(1-p)/p)  (Table 2, row 1).
+
+    With each of N loggers replying independently with probability p, the
+    reply count is Binomial(N, p); the estimator replies/p then has
+    variance N(1-p)/p.
+    """
+    if not 0.0 < p_ack <= 1.0:
+        raise ValueError(f"p_ack must be in (0, 1], got {p_ack}")
+    if n < 0:
+        raise ValueError(f"n must be non-negative, got {n}")
+    return math.sqrt(n * (1.0 - p_ack) / p_ack)
+
+
+def nsl_stddev_after_probes(n: float, p_ack: float, probes: int) -> float:
+    """σ after averaging ``probes`` independent probes: σ₁/√probes (Table 2)."""
+    if probes < 1:
+        raise ValueError(f"probes must be >= 1, got {probes}")
+    return nsl_stddev(n, p_ack) / math.sqrt(probes)

@@ -1,0 +1,157 @@
+"""Protocol events surfaced to applications via :class:`~repro.core.actions.Notify`.
+
+Events let an application observe what its LBRM endpoint is doing —
+detecting a loss, losing freshness, being promoted from replica to
+primary — without the protocol machines ever calling back into
+application code (which would break the sans-IO discipline).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from repro.core.actions import Address
+
+__all__ = [
+    "Event",
+    "LossDetected",
+    "FreshnessLost",
+    "FreshnessRestored",
+    "RecoveryComplete",
+    "RecoveryFailed",
+    "EpochStarted",
+    "DesignatedAcker",
+    "Remulticast",
+    "LoggerDiscovered",
+    "LoggerUnreachable",
+    "PrimaryFailover",
+    "PromotedToPrimary",
+    "SourceBufferReleased",
+    "FaultyAckerDetected",
+]
+
+
+class Event:
+    """Marker base class for protocol events."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True, slots=True)
+class LossDetected(Event):
+    """The receiver found a sequence gap or MaxIT silence.
+
+    ``seqs`` are the missing sequence numbers; ``via_silence`` is True
+    when the trigger was heartbeat absence rather than a gap.
+    """
+
+    seqs: tuple[int, ...]
+    via_silence: bool = False
+
+
+@dataclass(frozen=True, slots=True)
+class FreshnessLost(Event):
+    """No packet (data or heartbeat) for MaxIT: state may be stale.
+
+    ``idle_for`` is the measured silence when staleness was declared.
+    """
+
+    idle_for: float
+
+
+@dataclass(frozen=True, slots=True)
+class FreshnessRestored(Event):
+    """Traffic resumed after a :class:`FreshnessLost` notification."""
+
+    silent_for: float
+
+
+@dataclass(frozen=True, slots=True)
+class RecoveryComplete(Event):
+    """A previously missing sequence number was recovered.
+
+    ``latency`` measures detection-to-recovery time — the metric the
+    paper's §2.2.2 and §6 latency comparisons are about.
+    """
+
+    seq: int
+    latency: float
+
+
+@dataclass(frozen=True, slots=True)
+class RecoveryFailed(Event):
+    """All recovery retries for ``seq`` were exhausted."""
+
+    seq: int
+    attempts: int
+
+
+@dataclass(frozen=True, slots=True)
+class EpochStarted(Event):
+    """The source began a new statistical-acknowledgement epoch."""
+
+    epoch: int
+    p_ack: float
+    expected_ackers: int = 0
+
+
+@dataclass(frozen=True, slots=True)
+class DesignatedAcker(Event):
+    """This secondary logger volunteered as a Designated Acker."""
+
+    epoch: int
+
+
+@dataclass(frozen=True, slots=True)
+class Remulticast(Event):
+    """A packet was re-multicast (source statack decision or site-local
+    repair), with the reason recorded for the benchmark harness."""
+
+    seq: int
+    reason: str
+
+
+@dataclass(frozen=True, slots=True)
+class LoggerDiscovered(Event):
+    """Expanding-ring discovery located a logging server."""
+
+    logger: Address
+    ttl: int
+
+
+@dataclass(frozen=True, slots=True)
+class LoggerUnreachable(Event):
+    """A logger stopped answering; the client escalated upstream."""
+
+    logger: Address
+
+
+@dataclass(frozen=True, slots=True)
+class PrimaryFailover(Event):
+    """The source promoted a replica after primary-log failure."""
+
+    old_primary: Address
+    new_primary: Address
+    resent_packets: int
+
+
+@dataclass(frozen=True, slots=True)
+class PromotedToPrimary(Event):
+    """This replica was told it is now the primary logger."""
+
+    from_seq: int
+
+
+@dataclass(frozen=True, slots=True)
+class SourceBufferReleased(Event):
+    """The source discarded data up to ``seq`` after replica-safe ACK
+    (the paper's resource-management benefit, §5/§7)."""
+
+    seq: int
+
+
+@dataclass(frozen=True, slots=True)
+class FaultyAckerDetected(Event):
+    """The hotlist flagged a logger acking outside its selection."""
+
+    logger: Address
+    reason: str

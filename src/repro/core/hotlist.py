@@ -1,0 +1,116 @@
+"""Faulty-acker detection (§2.3.3).
+
+"Due to software or hardware faults, a logger might disrupt the system
+by, for example, responding to every Acker Selection Packet.  The source
+can easily track these faults by keeping a histogram or a timed
+'hot-list' of recently-active Designated Ackers.  Once a faulty logger
+has been identified, its future ACKs can be ignored."
+
+:class:`AckerHotlist` keeps, per logger, a sliding window of recent
+epochs recording whether the logger volunteered and at what selection
+probability.  A logger whose observed volunteer rate is wildly above the
+offered probabilities (beyond a configurable z-score on the binomial
+expectation) is quarantined.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.core.actions import Address
+
+__all__ = ["AckerHotlist"]
+
+
+@dataclass
+class _History:
+    """Per-logger sliding window of (p_ack offered, responded?) pairs."""
+
+    window: deque = field(default_factory=lambda: deque(maxlen=32))
+
+    def record(self, p_ack: float, responded: bool) -> None:
+        self.window.append((p_ack, responded))
+
+    @property
+    def responses(self) -> int:
+        return sum(1 for _, r in self.window if r)
+
+    @property
+    def expected(self) -> float:
+        return sum(p for p, _ in self.window)
+
+    @property
+    def variance(self) -> float:
+        return sum(p * (1.0 - p) for p, _ in self.window)
+
+
+class AckerHotlist:
+    """Tracks volunteer behaviour and quarantines statistical outliers.
+
+    A logger is flagged once it has volunteered at least ``min_responses``
+    times *and* its response count exceeds the binomial expectation by
+    more than ``z_threshold`` standard deviations.  With the default
+    window of 32 epochs and p_ack = 0.02, a correct logger volunteers
+    ~0.6 times while an always-acker hits 32 — a 10-20σ excursion — so a
+    6σ bar detects cheats within a dozen epochs while an honest logger's
+    false-positive odds stay negligible even across hundreds of
+    overlapping windows (each window's tail beyond 6σ is ~1e-6).
+    """
+
+    def __init__(self, z_threshold: float = 6.0, min_responses: int = 6) -> None:
+        if z_threshold <= 0:
+            raise ValueError(f"z_threshold must be positive, got {z_threshold}")
+        if min_responses < 1:
+            raise ValueError(f"min_responses must be >= 1, got {min_responses}")
+        self._z = z_threshold
+        self._min_responses = min_responses
+        self._history: dict[Address, _History] = {}
+        self._quarantined: set[Address] = set()
+
+    @property
+    def quarantined(self) -> frozenset[Address]:
+        """Loggers whose ACKs the source currently ignores."""
+        return frozenset(self._quarantined)
+
+    def is_quarantined(self, logger: Address) -> bool:
+        return logger in self._quarantined
+
+    def record_epoch(self, p_ack: float, responders: set[Address], known: set[Address]) -> list[Address]:
+        """Fold in one epoch's outcome.
+
+        ``responders`` volunteered for this epoch; ``known`` is every
+        logger the source has ever heard from (each non-responder in it
+        counts as a declined offer).  Returns the loggers *newly*
+        quarantined by this epoch.
+        """
+        newly_flagged: list[Address] = []
+        for logger in known | responders:
+            history = self._history.setdefault(logger, _History())
+            history.record(p_ack, logger in responders)
+            if logger in self._quarantined:
+                continue
+            if self._is_outlier(history):
+                self._quarantined.add(logger)
+                newly_flagged.append(logger)
+        return newly_flagged
+
+    def forgive(self, logger: Address) -> None:
+        """Release ``logger`` from quarantine and clear its history
+        (operator intervention after a repair)."""
+        self._quarantined.discard(logger)
+        self._history.pop(logger, None)
+
+    def _is_outlier(self, history: _History) -> bool:
+        responses = history.responses
+        if responses < self._min_responses:
+            return False
+        expected = history.expected
+        variance = history.variance
+        if variance <= 0.0:
+            # Offers at p=0 or p=1 carry no randomness; any excess
+            # response over the deterministic expectation is a fault.
+            return responses > expected
+        z = (responses - expected) / math.sqrt(variance)
+        return z > self._z

@@ -1,0 +1,456 @@
+"""Logging servers — the heart of LBRM (§2, §2.2).
+
+One class, :class:`LogServer`, plays all three roles the paper
+describes, reflecting "the recursive nature of the distributed logging
+architecture" the authors credit for their code reuse (§3):
+
+* **PRIMARY** — subscribes to the source's multicast group, logs every
+  packet, acknowledges the source (LOG_ACK carrying both the primary and
+  replicated sequence numbers), and pushes updates to replicas.
+* **SECONDARY** — a site-local logger: logs off the multicast group,
+  serves its site's retransmission requests, calls back to its parent
+  (the primary, or a higher secondary in a multi-level hierarchy) for
+  packets it lost itself, volunteers as a Designated Acker, and answers
+  probes and discovery queries.
+* **REPLICA** — a passive copy fed by the primary's REPL_UPDATE stream,
+  promotable to PRIMARY on failover (§2.2.3).
+
+A secondary decides between unicast repairs and one site-scoped (TTL
+bound) re-multicast based on how many distinct local receivers asked and
+on whether it lost the packet itself (§2.2.1).
+"""
+
+from __future__ import annotations
+
+import random
+from enum import Enum
+
+from repro.core.actions import Action, Address, JoinGroup, Notify, SendMulticast, SendUnicast
+from repro.core.config import LbrmConfig
+from repro.core.events import DesignatedAcker, PromotedToPrimary, Remulticast
+from repro.core.log_store import PacketLog
+from repro.core.machine import ProtocolMachine
+from repro.core.packets import (
+    AckerResponsePacket,
+    AckerSelectPacket,
+    DataAckPacket,
+    DataPacket,
+    DiscoveryQueryPacket,
+    DiscoveryReplyPacket,
+    HeartbeatPacket,
+    LogAckPacket,
+    NackPacket,
+    Packet,
+    ProbePacket,
+    ProbeReplyPacket,
+    PromotePacket,
+    ReplAckPacket,
+    ReplStatusQueryPacket,
+    ReplUpdatePacket,
+    RetransPacket,
+)
+from repro.core.replication import ReplicationManager
+from repro.core.retransmit import SiteRequestTracker
+from repro.core.sequence import SequenceTracker
+
+__all__ = ["LoggerRole", "LogServer"]
+
+_NO_SEQ = 2**64 - 1  # ReplAck sentinel for "nothing held yet"
+
+
+class LoggerRole(Enum):
+    PRIMARY = "primary"
+    SECONDARY = "secondary"
+    REPLICA = "replica"
+
+
+class LogServer(ProtocolMachine):
+    """A logging server for one LBRM group.
+
+    Parameters
+    ----------
+    group:
+        Multicast group whose traffic this server logs.
+    addr_token:
+        Stable string naming this server on the wire (discovery replies).
+    role:
+        Initial role; a REPLICA may later be promoted.
+    parent:
+        Upstream logger to fetch missing packets from (secondaries only;
+        the primary has none).
+    source:
+        The source's address — the primary sends LOG_ACKs there.
+    replicas:
+        Replica addresses (primary only).
+    level:
+        Hierarchy depth advertised in discovery replies (0 = primary).
+    """
+
+    def __init__(
+        self,
+        group: str,
+        addr_token: str,
+        config: LbrmConfig | None = None,
+        *,
+        role: LoggerRole = LoggerRole.SECONDARY,
+        parent: Address | None = None,
+        source: Address | None = None,
+        replicas: tuple[Address, ...] = (),
+        level: int = 1,
+        rng: random.Random | None = None,
+        spool_path: str | None = None,
+    ) -> None:
+        super().__init__()
+        self._group = group
+        self._addr_token = addr_token
+        self._config = config or LbrmConfig()
+        self._role = role
+        self._parent = parent
+        self._source = source
+        self._level = level
+        self._rng = rng or random.Random()
+
+        log_cfg = self._config.logger
+        self.log = PacketLog(
+            max_packets=log_cfg.max_packets,
+            max_bytes=log_cfg.max_bytes,
+            lifetime=log_cfg.packet_lifetime,
+            spool_path=spool_path,
+        )
+        self.tracker = SequenceTracker()
+        self._site_requests = SiteRequestTracker(log_cfg)
+        # seq -> requesters waiting for a packet we do not hold yet.
+        self._pending: dict[int, set[Address]] = {}
+        # seq -> upstream retries performed so far.
+        self._upstream_retries: dict[int, int] = {}
+        # Sequences this server itself had to fetch from upstream.
+        self._self_lost: set[int] = set()
+        # Epochs this (secondary) server volunteered to ack.
+        self._acking_epochs: set[int] = set()
+
+        self._replication: ReplicationManager | None = None
+        if role is LoggerRole.PRIMARY:
+            self._replication = ReplicationManager(group, replicas, self._config.replication)
+
+        self.stats = {
+            "logged": 0,
+            "nacks_received": 0,
+            "retrans_unicast": 0,
+            "retrans_multicast": 0,
+            "upstream_nacks": 0,
+            "log_misses": 0,
+            "acks_sent": 0,
+            "discovery_replies": 0,
+            "probe_replies": 0,
+        }
+
+    # -- introspection ----------------------------------------------------
+
+    @property
+    def role(self) -> LoggerRole:
+        return self._role
+
+    @property
+    def group(self) -> str:
+        return self._group
+
+    @property
+    def addr_token(self) -> str:
+        return self._addr_token
+
+    @property
+    def primary_seq(self) -> int:
+        """Highest contiguous sequence this server holds (0 = none)."""
+        if not self.tracker.started:
+            return 0
+        missing = self.tracker.missing
+        if not missing:
+            return self.tracker.highest
+        return min(missing) - 1
+
+    @property
+    def replication(self) -> ReplicationManager | None:
+        return self._replication
+
+    def set_source(self, source: Address) -> None:
+        """Install the source address (needed when ports are dynamic)."""
+        self._source = source
+
+    def set_parent(self, parent: Address) -> None:
+        """Install the upstream logger address (secondaries)."""
+        self._parent = parent
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def start(self, now: float) -> list[Action]:
+        """Subscribe to the group (replicas are fed by unicast instead)."""
+        if self._config.logger.packet_lifetime:
+            # Periodic housekeeping bounds memory even on idle servers;
+            # half the lifetime keeps staleness overshoot below 50%.
+            self.timers.set(("expire",), now + self._config.logger.packet_lifetime / 2)
+        if self._role is LoggerRole.REPLICA:
+            return []
+        return [JoinGroup(group=self._group)]
+
+    # -- inbound ----------------------------------------------------------
+
+    def handle(self, packet: Packet, src: Address, now: float) -> list[Action]:
+        if isinstance(packet, DataPacket):
+            return self._on_data(packet.seq, packet.payload, packet.epoch, src, now)
+        if isinstance(packet, RetransPacket):
+            return self._on_data(packet.seq, packet.payload, packet.epoch, src, now)
+        if isinstance(packet, HeartbeatPacket):
+            return self._on_heartbeat(packet, now)
+        if isinstance(packet, NackPacket):
+            return self._on_nack(packet, src, now)
+        if isinstance(packet, AckerSelectPacket):
+            return self._on_acker_select(packet, src, now)
+        if isinstance(packet, ProbePacket):
+            return self._on_probe(packet, src, now)
+        if isinstance(packet, DiscoveryQueryPacket):
+            return self._on_discovery(packet, src, now)
+        if isinstance(packet, ReplUpdatePacket):
+            return self._on_repl_update(packet, src, now)
+        if isinstance(packet, ReplAckPacket):
+            return self._on_repl_ack(packet, src, now)
+        if isinstance(packet, ReplStatusQueryPacket):
+            return self._on_repl_status(packet, src, now)
+        if isinstance(packet, PromotePacket):
+            return self._on_promote(packet, src, now)
+        return []
+
+    # -- logging the stream ----------------------------------------------------
+
+    def _on_data(self, seq: int, payload: bytes, epoch: int, src: Address, now: float) -> list[Action]:
+        actions: list[Action] = []
+        report = self.tracker.observe_data(seq)
+        if self.log.append(seq, payload, now):
+            self.stats["logged"] += 1
+            if self._replication is not None:
+                actions.extend(self._replication.replicate(seq, payload, now))
+        # The logger itself recovers its own losses from upstream so the
+        # site's receivers can always be served locally (§2.2.1).
+        actions.extend(self._request_upstream(report.new_gaps, now))
+        if report.filled_gap:
+            self._upstream_retries.pop(seq, None)
+            self.timers.cancel(("upstream", seq))
+        # Serve receivers that asked before we had the packet.
+        actions.extend(self._serve_pending(seq, payload, now))
+        if self._role is LoggerRole.PRIMARY:
+            actions.extend(self._ack_source(now))
+        if epoch in self._acking_epochs and self._source is not None:
+            self.stats["acks_sent"] += 1
+            ack = DataAckPacket(group=self._group, epoch=epoch, seq=seq)
+            actions.append(SendUnicast(dest=self._source, packet=ack))
+        return actions
+
+    def _on_heartbeat(self, packet: HeartbeatPacket, now: float) -> list[Action]:
+        report = self.tracker.observe_heartbeat(packet.seq)
+        return self._request_upstream(report.new_gaps, now)
+
+    def _ack_source(self, now: float) -> list[Action]:
+        if self._source is None:
+            return []
+        replica_seq = self.primary_seq
+        if self._replication is not None and self._replication.replicas:
+            replica_seq = self._replication.replica_seq
+        ack = LogAckPacket(group=self._group, primary_seq=self.primary_seq, replica_seq=replica_seq)
+        return [SendUnicast(dest=self._source, packet=ack)]
+
+    # -- serving retransmission requests -----------------------------------
+
+    def _on_nack(self, packet: NackPacket, src: Address, now: float) -> list[Action]:
+        self.stats["nacks_received"] += 1
+        if self._config.logger.packet_lifetime:
+            # Age out entries first so the membership test below is
+            # accurate (an entry must not expire between the check and
+            # the retrieval).
+            self.log.expire(now)
+        actions: list[Action] = []
+        upstream_needed: list[int] = []
+        for seq in packet.seqs:
+            if seq in self.log:
+                actions.extend(self._repair(seq, src, now))
+            else:
+                self.stats["log_misses"] += 1
+                self._pending.setdefault(seq, set()).add(src)
+                upstream_needed.append(seq)
+        actions.extend(self._request_upstream(tuple(upstream_needed), now))
+        return actions
+
+    def _repair(self, seq: int, requester: Address, now: float) -> list[Action]:
+        entry = self.log.get(seq, now)
+        retrans = RetransPacket(group=self._group, seq=seq, payload=entry.payload)
+        # The TTL-scoped re-multicast only helps a SECONDARY repairing its
+        # own site; a primary's requesters are on other sites, beyond any
+        # site-local scope, so it always unicasts (group-wide re-multicast
+        # is the source's statistical-ack decision, §2.3.2).
+        multicast_now = self._role is LoggerRole.SECONDARY and self._site_requests.record(
+            seq, requester, now, self_lost=seq in self._self_lost
+        )
+        if multicast_now:
+            # Enough of the site lost it: one TTL-scoped re-multicast
+            # replaces a pile of unicasts (§2.2.1).
+            self.stats["retrans_multicast"] += 1
+            return [
+                SendMulticast(group=self._group, packet=retrans, ttl=self._config.logger.site_ttl),
+                Notify(Remulticast(seq=seq, reason="site-wide loss")),
+            ]
+        self.stats["retrans_unicast"] += 1
+        return [SendUnicast(dest=requester, packet=retrans)]
+
+    def _serve_pending(self, seq: int, payload: bytes, now: float) -> list[Action]:
+        waiting = self._pending.pop(seq, None)
+        if not waiting:
+            return []
+        actions: list[Action] = []
+        retrans = RetransPacket(group=self._group, seq=seq, payload=payload)
+        if self._role is LoggerRole.SECONDARY and (
+            len(waiting) >= self._config.logger.remulticast_threshold or seq in self._self_lost
+        ):
+            self.stats["retrans_multicast"] += 1
+            actions.append(
+                SendMulticast(group=self._group, packet=retrans, ttl=self._config.logger.site_ttl)
+            )
+            actions.append(Notify(Remulticast(seq=seq, reason="queued site requests")))
+        else:
+            for requester in waiting:
+                self.stats["retrans_unicast"] += 1
+                actions.append(SendUnicast(dest=requester, packet=retrans))
+        return actions
+
+    def _request_upstream(self, gaps: tuple[int, ...], now: float) -> list[Action]:
+        if self._parent is None:
+            return []
+        fresh = [s for s in gaps if s not in self._upstream_retries]
+        if not fresh:
+            return []
+        self._self_lost.update(fresh)
+        for seq in fresh:
+            # 0 = initial request sent; only re-requests count as retries.
+            self._upstream_retries[seq] = 0
+            self.timers.set(("upstream", seq), now + self._config.logger.upstream_retry)
+        self.stats["upstream_nacks"] += 1
+        nack = NackPacket(group=self._group, seqs=tuple(sorted(fresh))[: NackPacket.MAX_SEQS])
+        return [SendUnicast(dest=self._parent, packet=nack)]
+
+    # -- statistical acknowledgement participation ---------------------------
+
+    def _on_acker_select(self, packet: AckerSelectPacket, src: Address, now: float) -> list[Action]:
+        if self._role is not LoggerRole.SECONDARY:
+            return []
+        if self._rng.random() >= packet.p_ack:
+            return []
+        self._acking_epochs.add(packet.epoch)
+        # Keep only a few recent epochs; selection packets are frequent.
+        if len(self._acking_epochs) > 8:
+            self._acking_epochs = set(sorted(self._acking_epochs)[-8:])
+        response = AckerResponsePacket(group=self._group, epoch=packet.epoch)
+        return [
+            SendUnicast(dest=src, packet=response),
+            Notify(DesignatedAcker(epoch=packet.epoch)),
+        ]
+
+    def _on_probe(self, packet: ProbePacket, src: Address, now: float) -> list[Action]:
+        if self._role is not LoggerRole.SECONDARY:
+            return []
+        if self._rng.random() >= packet.p_ack:
+            return []
+        self.stats["probe_replies"] += 1
+        return [SendUnicast(dest=src, packet=ProbeReplyPacket(group=self._group, probe_id=packet.probe_id))]
+
+    # -- discovery ----------------------------------------------------------
+
+    def _on_discovery(self, packet: DiscoveryQueryPacket, src: Address, now: float) -> list[Action]:
+        if self._role is LoggerRole.REPLICA:
+            return []
+        self.stats["discovery_replies"] += 1
+        reply = DiscoveryReplyPacket(group=self._group, logger_addr=self._addr_token, level=self._level)
+        return [SendUnicast(dest=src, packet=reply)]
+
+    # -- replication (replica side + primary ACK intake) ----------------------
+
+    def _on_repl_update(self, packet: ReplUpdatePacket, src: Address, now: float) -> list[Action]:
+        if self._role is LoggerRole.SECONDARY:
+            return []
+        self.tracker.observe_data(packet.seq)
+        if self.log.append(packet.seq, packet.payload, now):
+            self.stats["logged"] += 1
+        actions: list[Action] = [
+            SendUnicast(dest=src, packet=ReplAckPacket(group=self._group, cum_seq=self._cum_seq()))
+        ]
+        if self._role is LoggerRole.PRIMARY:
+            # Promoted primary receiving the source's handover also keeps
+            # the source's buffer-release machinery moving.
+            actions.extend(self._serve_pending(packet.seq, packet.payload, now))
+            actions.extend(self._ack_source(now))
+        return actions
+
+    def _on_repl_ack(self, packet: ReplAckPacket, src: Address, now: float) -> list[Action]:
+        if self._replication is None:
+            return []
+        cum = 0 if packet.cum_seq == _NO_SEQ else packet.cum_seq
+        if self._replication.on_ack(src, cum, now):
+            return self._ack_source(now)
+        return []
+
+    def _on_repl_status(self, packet: ReplStatusQueryPacket, src: Address, now: float) -> list[Action]:
+        return [SendUnicast(dest=src, packet=ReplAckPacket(group=self._group, cum_seq=self._cum_seq()))]
+
+    def _on_promote(self, packet: PromotePacket, src: Address, now: float) -> list[Action]:
+        if self._role is not LoggerRole.REPLICA:
+            return []
+        self._role = LoggerRole.PRIMARY
+        self._source = src
+        self._level = 0
+        if self._replication is None:
+            self._replication = ReplicationManager(self._group, (), self._config.replication)
+        return [
+            JoinGroup(group=self._group),
+            Notify(PromotedToPrimary(from_seq=packet.from_seq)),
+        ]
+
+    def _cum_seq(self) -> int:
+        cum = self.primary_seq
+        return cum if cum > 0 else _NO_SEQ
+
+    # -- timers ----------------------------------------------------------
+
+    def poll(self, now: float) -> list[Action]:
+        actions: list[Action] = []
+        for key in self.timers.pop_due(now):
+            if key[0] == "upstream":
+                actions.extend(self._retry_upstream(key[1], now))
+            elif key[0] == "expire":
+                self.timers.set(("expire",), now + self._config.logger.packet_lifetime / 2)
+        if self._replication is not None:
+            actions.extend(self._replication.poll(now))
+        self._site_requests.sweep(now)
+        if self._config.logger.packet_lifetime:
+            self.log.expire(now)
+        return actions
+
+    def next_wakeup(self) -> float | None:
+        own = self.timers.next_deadline()
+        if self._replication is None:
+            return own
+        repl = self._replication.next_wakeup()
+        if own is None:
+            return repl
+        if repl is None:
+            return own
+        return min(own, repl)
+
+    def _retry_upstream(self, seq: int, now: float) -> list[Action]:
+        if seq in self.log or self._parent is None:
+            self._upstream_retries.pop(seq, None)
+            return []
+        retries = self._upstream_retries.get(seq, 0)
+        if retries >= self._config.logger.max_upstream_retries:
+            self._upstream_retries.pop(seq, None)
+            self._pending.pop(seq, None)
+            return []
+        self._upstream_retries[seq] = retries + 1
+        self.timers.set(("upstream", seq), now + self._config.logger.upstream_retry)
+        self.stats["upstream_nacks"] += 1
+        return [SendUnicast(dest=self._parent, packet=NackPacket(group=self._group, seqs=(seq,)))]

@@ -1,0 +1,97 @@
+"""Sans-IO protocol machine base class and timer bookkeeping.
+
+A :class:`ProtocolMachine` never touches a socket or an event loop.  The
+harness (simulator or asyncio runtime) owns time and I/O and drives the
+machine through exactly three entry points:
+
+* :meth:`ProtocolMachine.handle` — a packet arrived,
+* :meth:`ProtocolMachine.poll` — the clock reached a requested wakeup,
+* :meth:`ProtocolMachine.next_wakeup` — when the machine next needs the
+  clock.
+
+The contract: after *any* call to ``handle``/``poll`` the harness must
+re-read ``next_wakeup()`` and reschedule.  Machines must be tolerant of
+early or late polls (``poll`` at any time is legal and idempotent when
+nothing is due).
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+from repro.core.actions import Action, Address
+from repro.core.packets import Packet
+
+__all__ = ["ProtocolMachine", "TimerSet"]
+
+
+class TimerSet:
+    """Named one-shot deadlines for a protocol machine.
+
+    Keys are arbitrary hashables (e.g. ``("nack", seq)``).  Setting a key
+    replaces its previous deadline; ``pop_due`` returns and clears every
+    expired timer in deadline order, which makes machine ``poll`` methods
+    a simple loop over fired keys.
+    """
+
+    def __init__(self) -> None:
+        self._deadlines: dict[Hashable, float] = {}
+
+    def set(self, key: Hashable, deadline: float) -> None:
+        """Arm (or re-arm) the timer ``key`` to fire at ``deadline``."""
+        self._deadlines[key] = deadline
+
+    def cancel(self, key: Hashable) -> None:
+        """Disarm ``key``; no-op if not armed."""
+        self._deadlines.pop(key, None)
+
+    def cancel_prefix(self, prefix: tuple) -> None:
+        """Disarm every tuple-key starting with ``prefix``."""
+        doomed = [k for k in self._deadlines if isinstance(k, tuple) and k[: len(prefix)] == prefix]
+        for key in doomed:
+            del self._deadlines[key]
+
+    def deadline(self, key: Hashable) -> float | None:
+        """Deadline for ``key``, or None if not armed."""
+        return self._deadlines.get(key)
+
+    def pop_due(self, now: float) -> list[Hashable]:
+        """Remove and return all timers with deadline <= ``now``, soonest first."""
+        due = sorted(
+            (k for k, t in self._deadlines.items() if t <= now),
+            key=lambda k: self._deadlines[k],
+        )
+        for key in due:
+            del self._deadlines[key]
+        return due
+
+    def next_deadline(self) -> float | None:
+        """Earliest armed deadline, or None when no timers are armed."""
+        if not self._deadlines:
+            return None
+        return min(self._deadlines.values())
+
+    def __len__(self) -> int:
+        return len(self._deadlines)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._deadlines
+
+
+class ProtocolMachine:
+    """Base class for every sans-IO protocol endpoint."""
+
+    def __init__(self) -> None:
+        self.timers = TimerSet()
+
+    def handle(self, packet: Packet, src: Address, now: float) -> list[Action]:
+        """Process an inbound ``packet`` from ``src`` at time ``now``."""
+        raise NotImplementedError
+
+    def poll(self, now: float) -> list[Action]:
+        """Run any work whose deadline has passed.  Safe to call anytime."""
+        raise NotImplementedError
+
+    def next_wakeup(self) -> float | None:
+        """Absolute time of the next deadline, or None if idle."""
+        return self.timers.next_deadline()

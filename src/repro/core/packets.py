@@ -1,0 +1,609 @@
+"""LBRM wire format.
+
+Every protocol message is a frozen dataclass with a compact binary
+encoding.  The common header is::
+
+    0      2      3      4        5
+    +------+------+------+--------+----------+------------------
+    | 'LB' | ver  | type | grplen | group... | type-specific body
+    +------+------+------+--------+----------+------------------
+
+All integers are network byte order.  Sequence numbers are unsigned
+64-bit and monotonically increasing per flow — at one packet per
+millisecond that is ~584 million years before wrap, so no serial-number
+arithmetic is needed (documented trade-off versus 32-bit + RFC 1982).
+
+The simulator passes packet objects by reference (encode/decode is
+exercised by tests and the asyncio transport), so a deployment and a
+simulation run the exact same message vocabulary.
+
+New packet types (e.g. the SRM baseline's messages) register themselves
+with :func:`register_packet`, which keeps :func:`decode` a single entry
+point for every transport.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, fields
+from enum import IntEnum
+from typing import Callable, ClassVar, Type, TypeVar
+
+from repro.core.errors import DecodeError, EncodeError
+
+__all__ = [
+    "PacketType",
+    "Packet",
+    "DataPacket",
+    "HeartbeatPacket",
+    "NackPacket",
+    "RetransPacket",
+    "LogAckPacket",
+    "AckerSelectPacket",
+    "AckerResponsePacket",
+    "DataAckPacket",
+    "ProbePacket",
+    "ProbeReplyPacket",
+    "DiscoveryQueryPacket",
+    "DiscoveryReplyPacket",
+    "ReplUpdatePacket",
+    "ReplAckPacket",
+    "PrimaryQueryPacket",
+    "PrimaryInfoPacket",
+    "PromotePacket",
+    "ReplStatusQueryPacket",
+    "encode",
+    "decode",
+    "register_packet",
+]
+
+_MAGIC = b"LB"
+_VERSION = 1
+_HEADER = struct.Struct("!2sBB")
+_MAX_PAYLOAD = 0xFFFF
+_MAX_STR = 0xFF
+
+
+class PacketType(IntEnum):
+    """Discriminator byte in the common header.
+
+    Values 0–31 are reserved for the LBRM core; 32+ for extensions
+    (baselines, applications).
+    """
+
+    DATA = 1
+    HEARTBEAT = 2
+    NACK = 3
+    RETRANS = 4
+    LOG_ACK = 5
+    ACKER_SELECT = 6
+    ACKER_RESPONSE = 7
+    DATA_ACK = 8
+    PROBE = 9
+    PROBE_REPLY = 10
+    DISCOVERY_QUERY = 11
+    DISCOVERY_REPLY = 12
+    REPL_UPDATE = 13
+    REPL_ACK = 14
+    PRIMARY_QUERY = 15
+    PRIMARY_INFO = 16
+    PROMOTE = 17
+    REPL_STATUS_QUERY = 18
+    # Extension range (registered by other modules).
+    SRM_SESSION = 32
+    SRM_REQUEST = 33
+    SRM_REPAIR = 34
+    POSACK_DATA = 40
+    POSACK_ACK = 41
+
+
+def _pack_str(value: str) -> bytes:
+    raw = value.encode("utf-8")
+    if len(raw) > _MAX_STR:
+        raise EncodeError(f"string too long for wire ({len(raw)} > {_MAX_STR})")
+    return bytes([len(raw)]) + raw
+
+
+def _unpack_str(buf: memoryview, offset: int) -> tuple[str, int]:
+    if offset >= len(buf):
+        raise DecodeError("truncated string length")
+    length = buf[offset]
+    end = offset + 1 + length
+    if end > len(buf):
+        raise DecodeError("truncated string body")
+    return bytes(buf[offset + 1 : end]).decode("utf-8"), end
+
+
+def _pack_bytes(value: bytes) -> bytes:
+    if len(value) > _MAX_PAYLOAD:
+        raise EncodeError(f"payload too large ({len(value)} > {_MAX_PAYLOAD})")
+    return struct.pack("!H", len(value)) + value
+
+
+def _unpack_bytes(buf: memoryview, offset: int) -> tuple[bytes, int]:
+    if offset + 2 > len(buf):
+        raise DecodeError("truncated payload length")
+    (length,) = struct.unpack_from("!H", buf, offset)
+    end = offset + 2 + length
+    if end > len(buf):
+        raise DecodeError("truncated payload body")
+    return bytes(buf[offset + 2 : end]), end
+
+
+@dataclass(frozen=True, slots=True)
+class Packet:
+    """Base class: every LBRM message belongs to a multicast group."""
+
+    group: str
+
+    TYPE: ClassVar[PacketType]
+
+    def encode_body(self) -> bytes:
+        raise NotImplementedError
+
+    @classmethod
+    def decode_body(cls, group: str, buf: memoryview) -> "Packet":
+        raise NotImplementedError
+
+
+_REGISTRY: dict[int, Type[Packet]] = {}
+
+P = TypeVar("P", bound=Type[Packet])
+
+
+def register_packet(cls: P) -> P:
+    """Class decorator adding ``cls`` to the wire-format registry."""
+    ptype = int(cls.TYPE)
+    existing = _REGISTRY.get(ptype)
+    if existing is not None and existing is not cls:
+        raise EncodeError(f"packet type {ptype} already registered to {existing.__name__}")
+    _REGISTRY[ptype] = cls
+    return cls
+
+
+@register_packet
+@dataclass(frozen=True, slots=True)
+class DataPacket(Packet):
+    """Original application data multicast by the source (§2).
+
+    ``epoch`` ties the packet to the statistical-acknowledgement epoch so
+    Designated Ackers know whether they must acknowledge it (§2.3.1).
+    """
+
+    seq: int
+    payload: bytes
+    epoch: int = 0
+
+    TYPE: ClassVar[PacketType] = PacketType.DATA
+
+    def encode_body(self) -> bytes:
+        return struct.pack("!QI", self.seq, self.epoch) + _pack_bytes(self.payload)
+
+    @classmethod
+    def decode_body(cls, group: str, buf: memoryview) -> "DataPacket":
+        if len(buf) < 12:
+            raise DecodeError("truncated DATA body")
+        seq, epoch = struct.unpack_from("!QI", buf, 0)
+        payload, _ = _unpack_bytes(buf, 12)
+        return cls(group=group, seq=seq, payload=payload, epoch=epoch)
+
+
+@register_packet
+@dataclass(frozen=True, slots=True)
+class HeartbeatPacket(Packet):
+    """Keep-alive repeating the last data sequence number (§2).
+
+    ``hb_index`` counts heartbeats since that data packet (Appendix A's
+    ``TRANS:17.12:HEARTBEAT`` is sequence 17, index 12) and lets
+    receivers de-duplicate and reason about the backoff schedule.
+    """
+
+    seq: int
+    hb_index: int
+    epoch: int = 0
+
+    TYPE: ClassVar[PacketType] = PacketType.HEARTBEAT
+
+    def encode_body(self) -> bytes:
+        return struct.pack("!QII", self.seq, self.hb_index, self.epoch)
+
+    @classmethod
+    def decode_body(cls, group: str, buf: memoryview) -> "HeartbeatPacket":
+        if len(buf) < 16:
+            raise DecodeError("truncated HEARTBEAT body")
+        seq, hb_index, epoch = struct.unpack_from("!QII", buf, 0)
+        return cls(group=group, seq=seq, hb_index=hb_index, epoch=epoch)
+
+
+@register_packet
+@dataclass(frozen=True, slots=True)
+class NackPacket(Packet):
+    """Retransmission request listing missing sequence numbers.
+
+    Sent by a receiver to its secondary logger, or by a secondary logger
+    upstream to the primary (§2.2.1).  Bounded to 64 sequence numbers per
+    packet; longer loss runs are requested in batches.
+    """
+
+    seqs: tuple[int, ...]
+
+    TYPE: ClassVar[PacketType] = PacketType.NACK
+    MAX_SEQS: ClassVar[int] = 64
+
+    def encode_body(self) -> bytes:
+        if not self.seqs:
+            raise EncodeError("NACK must request at least one sequence")
+        if len(self.seqs) > self.MAX_SEQS:
+            raise EncodeError(f"NACK limited to {self.MAX_SEQS} sequences")
+        return struct.pack("!H", len(self.seqs)) + struct.pack(f"!{len(self.seqs)}Q", *self.seqs)
+
+    @classmethod
+    def decode_body(cls, group: str, buf: memoryview) -> "NackPacket":
+        if len(buf) < 2:
+            raise DecodeError("truncated NACK body")
+        (count,) = struct.unpack_from("!H", buf, 0)
+        if count == 0 or count > cls.MAX_SEQS:
+            raise DecodeError(f"bad NACK count {count}")
+        if len(buf) < 2 + 8 * count:
+            raise DecodeError("truncated NACK sequence list")
+        seqs = struct.unpack_from(f"!{count}Q", buf, 2)
+        return cls(group=group, seqs=tuple(seqs))
+
+
+@register_packet
+@dataclass(frozen=True, slots=True)
+class RetransPacket(Packet):
+    """Retransmission of a logged data packet.
+
+    Distinct from :class:`DataPacket` so receivers can account recovery
+    traffic separately (the paper's RETRANS vs TRANS tags, Appendix A).
+    """
+
+    seq: int
+    payload: bytes
+    epoch: int = 0
+
+    TYPE: ClassVar[PacketType] = PacketType.RETRANS
+
+    def encode_body(self) -> bytes:
+        return struct.pack("!QI", self.seq, self.epoch) + _pack_bytes(self.payload)
+
+    @classmethod
+    def decode_body(cls, group: str, buf: memoryview) -> "RetransPacket":
+        if len(buf) < 12:
+            raise DecodeError("truncated RETRANS body")
+        seq, epoch = struct.unpack_from("!QI", buf, 0)
+        payload, _ = _unpack_bytes(buf, 12)
+        return cls(group=group, seq=seq, payload=payload, epoch=epoch)
+
+
+@register_packet
+@dataclass(frozen=True, slots=True)
+class LogAckPacket(Packet):
+    """Primary logger → source acknowledgement (§2.2.3).
+
+    Carries both the primary logger sequence number (source may release
+    its application buffer and keep processing) and the replicated
+    logger sequence number (source may discard data only up to here).
+    """
+
+    primary_seq: int
+    replica_seq: int
+
+    TYPE: ClassVar[PacketType] = PacketType.LOG_ACK
+
+    def encode_body(self) -> bytes:
+        return struct.pack("!QQ", self.primary_seq, self.replica_seq)
+
+    @classmethod
+    def decode_body(cls, group: str, buf: memoryview) -> "LogAckPacket":
+        if len(buf) < 16:
+            raise DecodeError("truncated LOG_ACK body")
+        primary_seq, replica_seq = struct.unpack_from("!QQ", buf, 0)
+        return cls(group=group, primary_seq=primary_seq, replica_seq=replica_seq)
+
+
+@register_packet
+@dataclass(frozen=True, slots=True)
+class AckerSelectPacket(Packet):
+    """Acker Selection Packet starting a new epoch (§2.3.1).
+
+    Each secondary logger answers with probability ``p_ack``; responders
+    become the epoch's Designated Ackers.
+    """
+
+    epoch: int
+    p_ack: float
+    k: int
+
+    TYPE: ClassVar[PacketType] = PacketType.ACKER_SELECT
+
+    def encode_body(self) -> bytes:
+        return struct.pack("!IdI", self.epoch, self.p_ack, self.k)
+
+    @classmethod
+    def decode_body(cls, group: str, buf: memoryview) -> "AckerSelectPacket":
+        if len(buf) < 16:
+            raise DecodeError("truncated ACKER_SELECT body")
+        epoch, p_ack, k = struct.unpack_from("!IdI", buf, 0)
+        return cls(group=group, epoch=epoch, p_ack=p_ack, k=k)
+
+
+@register_packet
+@dataclass(frozen=True, slots=True)
+class AckerResponsePacket(Packet):
+    """A secondary logger volunteering as Designated Acker for ``epoch``."""
+
+    epoch: int
+
+    TYPE: ClassVar[PacketType] = PacketType.ACKER_RESPONSE
+
+    def encode_body(self) -> bytes:
+        return struct.pack("!I", self.epoch)
+
+    @classmethod
+    def decode_body(cls, group: str, buf: memoryview) -> "AckerResponsePacket":
+        if len(buf) < 4:
+            raise DecodeError("truncated ACKER_RESPONSE body")
+        (epoch,) = struct.unpack_from("!I", buf, 0)
+        return cls(group=group, epoch=epoch)
+
+
+@register_packet
+@dataclass(frozen=True, slots=True)
+class DataAckPacket(Packet):
+    """Designated Acker → source per-data-packet acknowledgement."""
+
+    epoch: int
+    seq: int
+
+    TYPE: ClassVar[PacketType] = PacketType.DATA_ACK
+
+    def encode_body(self) -> bytes:
+        return struct.pack("!IQ", self.epoch, self.seq)
+
+    @classmethod
+    def decode_body(cls, group: str, buf: memoryview) -> "DataAckPacket":
+        if len(buf) < 12:
+            raise DecodeError("truncated DATA_ACK body")
+        epoch, seq = struct.unpack_from("!IQ", buf, 0)
+        return cls(group=group, epoch=epoch, seq=seq)
+
+
+@register_packet
+@dataclass(frozen=True, slots=True)
+class ProbePacket(Packet):
+    """Bolot-style group-size probe (§2.3.3): answer with prob ``p_ack``."""
+
+    probe_id: int
+    p_ack: float
+
+    TYPE: ClassVar[PacketType] = PacketType.PROBE
+
+    def encode_body(self) -> bytes:
+        return struct.pack("!Id", self.probe_id, self.p_ack)
+
+    @classmethod
+    def decode_body(cls, group: str, buf: memoryview) -> "ProbePacket":
+        if len(buf) < 12:
+            raise DecodeError("truncated PROBE body")
+        probe_id, p_ack = struct.unpack_from("!Id", buf, 0)
+        return cls(group=group, probe_id=probe_id, p_ack=p_ack)
+
+
+@register_packet
+@dataclass(frozen=True, slots=True)
+class ProbeReplyPacket(Packet):
+    """Probabilistic reply to a :class:`ProbePacket`."""
+
+    probe_id: int
+
+    TYPE: ClassVar[PacketType] = PacketType.PROBE_REPLY
+
+    def encode_body(self) -> bytes:
+        return struct.pack("!I", self.probe_id)
+
+    @classmethod
+    def decode_body(cls, group: str, buf: memoryview) -> "ProbeReplyPacket":
+        if len(buf) < 4:
+            raise DecodeError("truncated PROBE_REPLY body")
+        (probe_id,) = struct.unpack_from("!I", buf, 0)
+        return cls(group=group, probe_id=probe_id)
+
+
+@register_packet
+@dataclass(frozen=True, slots=True)
+class DiscoveryQueryPacket(Packet):
+    """Expanding-ring scoped-multicast query for a nearby logger (§2.2.1)."""
+
+    ttl: int
+
+    TYPE: ClassVar[PacketType] = PacketType.DISCOVERY_QUERY
+
+    def encode_body(self) -> bytes:
+        return struct.pack("!H", self.ttl)
+
+    @classmethod
+    def decode_body(cls, group: str, buf: memoryview) -> "DiscoveryQueryPacket":
+        if len(buf) < 2:
+            raise DecodeError("truncated DISCOVERY_QUERY body")
+        (ttl,) = struct.unpack_from("!H", buf, 0)
+        return cls(group=group, ttl=ttl)
+
+
+@register_packet
+@dataclass(frozen=True, slots=True)
+class DiscoveryReplyPacket(Packet):
+    """A logger answering discovery: its address token and hierarchy level
+    (0 = primary, 1 = site secondary, …)."""
+
+    logger_addr: str
+    level: int
+
+    TYPE: ClassVar[PacketType] = PacketType.DISCOVERY_REPLY
+
+    def encode_body(self) -> bytes:
+        return struct.pack("!H", self.level) + _pack_str(self.logger_addr)
+
+    @classmethod
+    def decode_body(cls, group: str, buf: memoryview) -> "DiscoveryReplyPacket":
+        if len(buf) < 2:
+            raise DecodeError("truncated DISCOVERY_REPLY body")
+        (level,) = struct.unpack_from("!H", buf, 0)
+        logger_addr, _ = _unpack_str(buf, 2)
+        return cls(group=group, logger_addr=logger_addr, level=level)
+
+
+@register_packet
+@dataclass(frozen=True, slots=True)
+class ReplUpdatePacket(Packet):
+    """Primary → replica log-entry push (§2.2.3).
+
+    Also reused source → promoted-replica during failover to hand over
+    buffered packets the failed primary never replicated.
+    """
+
+    seq: int
+    payload: bytes
+
+    TYPE: ClassVar[PacketType] = PacketType.REPL_UPDATE
+
+    def encode_body(self) -> bytes:
+        return struct.pack("!Q", self.seq) + _pack_bytes(self.payload)
+
+    @classmethod
+    def decode_body(cls, group: str, buf: memoryview) -> "ReplUpdatePacket":
+        if len(buf) < 8:
+            raise DecodeError("truncated REPL_UPDATE body")
+        (seq,) = struct.unpack_from("!Q", buf, 0)
+        payload, _ = _unpack_bytes(buf, 8)
+        return cls(group=group, seq=seq, payload=payload)
+
+
+@register_packet
+@dataclass(frozen=True, slots=True)
+class ReplAckPacket(Packet):
+    """Replica → primary cumulative acknowledgement.
+
+    ``cum_seq`` is the highest sequence such that the replica holds every
+    packet ≤ ``cum_seq``; 2**64-1 is reserved as "nothing yet" sentinel
+    (encoded) but exposed as ``cum_seq is None`` in the replication API.
+    """
+
+    cum_seq: int
+
+    TYPE: ClassVar[PacketType] = PacketType.REPL_ACK
+
+    def encode_body(self) -> bytes:
+        return struct.pack("!Q", self.cum_seq)
+
+    @classmethod
+    def decode_body(cls, group: str, buf: memoryview) -> "ReplAckPacket":
+        if len(buf) < 8:
+            raise DecodeError("truncated REPL_ACK body")
+        (cum_seq,) = struct.unpack_from("!Q", buf, 0)
+        return cls(group=group, cum_seq=cum_seq)
+
+
+@register_packet
+@dataclass(frozen=True, slots=True)
+class PrimaryQueryPacket(Packet):
+    """Receiver/secondary → source: "who is the primary logger now?"
+
+    Sent when the cached primary address stops responding (§2.2.3).
+    """
+
+    TYPE: ClassVar[PacketType] = PacketType.PRIMARY_QUERY
+
+    def encode_body(self) -> bytes:
+        return b""
+
+    @classmethod
+    def decode_body(cls, group: str, buf: memoryview) -> "PrimaryQueryPacket":
+        return cls(group=group)
+
+
+@register_packet
+@dataclass(frozen=True, slots=True)
+class PrimaryInfoPacket(Packet):
+    """Source → asker: current primary logger address token."""
+
+    primary_addr: str
+
+    TYPE: ClassVar[PacketType] = PacketType.PRIMARY_INFO
+
+    def encode_body(self) -> bytes:
+        return _pack_str(self.primary_addr)
+
+    @classmethod
+    def decode_body(cls, group: str, buf: memoryview) -> "PrimaryInfoPacket":
+        primary_addr, _ = _unpack_str(buf, 0)
+        return cls(group=group, primary_addr=primary_addr)
+
+
+@register_packet
+@dataclass(frozen=True, slots=True)
+class PromotePacket(Packet):
+    """Source → replica: become the primary; serve from ``from_seq``."""
+
+    from_seq: int
+
+    TYPE: ClassVar[PacketType] = PacketType.PROMOTE
+
+    def encode_body(self) -> bytes:
+        return struct.pack("!Q", self.from_seq)
+
+    @classmethod
+    def decode_body(cls, group: str, buf: memoryview) -> "PromotePacket":
+        if len(buf) < 8:
+            raise DecodeError("truncated PROMOTE body")
+        (from_seq,) = struct.unpack_from("!Q", buf, 0)
+        return cls(group=group, from_seq=from_seq)
+
+
+@register_packet
+@dataclass(frozen=True, slots=True)
+class ReplStatusQueryPacket(Packet):
+    """Source → replica during failover: "report your cumulative log seq".
+
+    The replica answers with a :class:`ReplAckPacket`; the source then
+    promotes the most up-to-date replica (§2.2.3).
+    """
+
+    TYPE: ClassVar[PacketType] = PacketType.REPL_STATUS_QUERY
+
+    def encode_body(self) -> bytes:
+        return b""
+
+    @classmethod
+    def decode_body(cls, group: str, buf: memoryview) -> "ReplStatusQueryPacket":
+        return cls(group=group)
+
+
+def encode(packet: Packet) -> bytes:
+    """Serialize ``packet`` to its wire representation."""
+    header = _HEADER.pack(_MAGIC, _VERSION, int(packet.TYPE))
+    return header + _pack_str(packet.group) + packet.encode_body()
+
+
+def decode(data: bytes) -> Packet:
+    """Parse a datagram back into a packet object.
+
+    Raises :class:`~repro.core.errors.DecodeError` on any malformed
+    input; transports should count and drop such datagrams rather than
+    crash (errors should never pass silently, but a multicast socket is
+    a public place).
+    """
+    if len(data) < _HEADER.size:
+        raise DecodeError("datagram shorter than header", data)
+    magic, version, ptype = _HEADER.unpack_from(data, 0)
+    if magic != _MAGIC:
+        raise DecodeError(f"bad magic {magic!r}", data)
+    if version != _VERSION:
+        raise DecodeError(f"unsupported version {version}", data)
+    cls = _REGISTRY.get(ptype)
+    if cls is None:
+        raise DecodeError(f"unknown packet type {ptype}", data)
+    view = memoryview(data)
+    group, offset = _unpack_str(view, _HEADER.size)
+    return cls.decode_body(group, view[offset:])

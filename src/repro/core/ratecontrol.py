@@ -1,0 +1,96 @@
+"""Sender rate control from statistical-acknowledgement feedback (§5).
+
+"As part of our future work, we are exploring the use of the selective
+acking mechanism as a resource management tool; in particular, we are
+looking into use statistical acknowledgement information to slow down
+the sender during periods of high loss."
+
+:class:`AimdRateController` turns per-packet statack outcomes into an
+AIMD send rate, the standard TCP-compatible control law:
+
+* every packet whose full Designated-Acker set acknowledged it is a
+  congestion-free signal → additive rate increase;
+* every packet with missing ACKs at the deadline is a loss signal →
+  multiplicative rate decrease.
+
+The controller is advisory (receiver-reliable sources are not flow
+controlled by the protocol): the application reads
+:meth:`suggested_interval` — or :meth:`earliest_send` for a concrete
+clock reading — and paces itself.  :class:`~repro.core.sender.LbrmSender`
+hosts one when given a :class:`RateControlConfig` and feeds it from the
+statack engine automatically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.errors import ConfigError
+
+__all__ = ["RateControlConfig", "AimdRateController"]
+
+
+@dataclass(frozen=True)
+class RateControlConfig:
+    """AIMD parameters in the rate domain (packets/second)."""
+
+    initial_rate: float = 10.0
+    min_rate: float = 0.1
+    max_rate: float = 1000.0
+    additive_increase: float = 1.0  # pkt/s added per fully-ACKed packet
+    multiplicative_decrease: float = 0.5  # rate factor per loss signal
+
+    def __post_init__(self) -> None:
+        if self.min_rate <= 0:
+            raise ConfigError(f"min_rate must be positive, got {self.min_rate}")
+        if self.max_rate < self.min_rate:
+            raise ConfigError("max_rate must be >= min_rate")
+        if not self.min_rate <= self.initial_rate <= self.max_rate:
+            raise ConfigError("initial_rate must lie within [min_rate, max_rate]")
+        if self.additive_increase <= 0:
+            raise ConfigError("additive_increase must be positive")
+        if not 0.0 < self.multiplicative_decrease < 1.0:
+            raise ConfigError("multiplicative_decrease must be in (0, 1)")
+
+
+class AimdRateController:
+    """Additive-increase / multiplicative-decrease pacing advisor."""
+
+    def __init__(self, config: RateControlConfig | None = None) -> None:
+        self._config = config or RateControlConfig()
+        self._rate = self._config.initial_rate
+        self._last_send: float | None = None
+        self.stats = {"loss_signals": 0, "success_signals": 0}
+
+    @property
+    def rate(self) -> float:
+        """Current allowed send rate in packets/second."""
+        return self._rate
+
+    def suggested_interval(self) -> float:
+        """Seconds the application should wait between sends."""
+        return 1.0 / self._rate
+
+    def on_success(self) -> None:
+        """A packet's full Designated-Acker set acknowledged it."""
+        self.stats["success_signals"] += 1
+        self._rate = min(self._rate + self._config.additive_increase, self._config.max_rate)
+
+    def on_loss(self) -> None:
+        """Missing ACKs at the t_wait deadline: the network is losing."""
+        self.stats["loss_signals"] += 1
+        self._rate = max(self._rate * self._config.multiplicative_decrease, self._config.min_rate)
+
+    def note_send(self, now: float) -> None:
+        """Record a transmission for :meth:`earliest_send` pacing."""
+        self._last_send = now
+
+    def earliest_send(self, now: float) -> float:
+        """Earliest time the next packet should go out (>= now)."""
+        if self._last_send is None:
+            return now
+        return max(now, self._last_send + self.suggested_interval())
+
+    def can_send(self, now: float) -> bool:
+        """True when pacing permits a transmission at ``now``."""
+        return self.earliest_send(now) <= now

@@ -1,0 +1,414 @@
+"""The LBRM receiver (§2, §2.2.1, §6).
+
+A receiver detects loss from sequence gaps or MaxIT silence, and asks
+its *local* logging server for the missing packets — immediately, with
+no suppression delay, because the logging hierarchy guarantees at most
+one upstream request per site (this is the §6 latency advantage over
+wb-style recovery).  If the local logger stops answering, the receiver
+escalates to the next logger in its chain, ultimately the primary; if
+even the cached primary is gone it asks the source who the new primary
+is (§2.2.3).
+
+Reliability policy belongs to the receiver: recovery can be disabled,
+bounded, or abandoned per-sequence (:meth:`LbrmReceiver.abandon`)
+without any protocol involvement from the source.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.actions import (
+    Action,
+    Address,
+    Deliver,
+    JoinGroup,
+    LeaveGroup,
+    Notify,
+    SendUnicast,
+)
+from repro.core.config import HeartbeatConfig, ReceiverConfig
+from repro.core.events import (
+    FreshnessLost,
+    FreshnessRestored,
+    LoggerUnreachable,
+    LossDetected,
+    RecoveryComplete,
+    RecoveryFailed,
+)
+from repro.core.machine import ProtocolMachine
+from repro.core.packets import (
+    DataPacket,
+    HeartbeatPacket,
+    NackPacket,
+    Packet,
+    PrimaryInfoPacket,
+    PrimaryQueryPacket,
+    RetransPacket,
+)
+from repro.core.sequence import SequenceTracker
+
+__all__ = ["LbrmReceiver"]
+
+
+@dataclass
+class _Recovery:
+    """Per-missing-sequence recovery state."""
+
+    seq: int
+    detected_at: float
+    attempts: int = 0  # NACKs sent to the current chain level
+    level: int = 0  # index into the logger chain
+    requeries: int = 0  # PRIMARY_QUERY rounds already burned on this seq
+
+
+class LbrmReceiver(ProtocolMachine):
+    """Receiving endpoint of one LBRM group.
+
+    Parameters
+    ----------
+    group:
+        The multicast group to subscribe to.
+    logger_chain:
+        Recovery targets nearest-first, e.g. ``(site_logger, primary)``.
+        May start empty and be filled by discovery
+        (:meth:`set_logger_chain`).
+    source:
+        The source's address, used only to re-locate the primary after
+        total chain failure (§2.2.3).  Optional.
+    """
+
+    def __init__(
+        self,
+        group: str,
+        config: ReceiverConfig | None = None,
+        *,
+        logger_chain: tuple[Address, ...] = (),
+        source: Address | None = None,
+        heartbeat: "HeartbeatConfig | None" = None,
+        parse_token=None,
+    ) -> None:
+        super().__init__()
+        self._group = group
+        self._config = config or ReceiverConfig()
+        # Knowing the sender's heartbeat schedule lets the freshness
+        # watchdog adapt: after the i-th heartbeat the next one is due in
+        # min(h_min·backoff^i, h_max), so silence beyond slack× that is a
+        # real outage — §2.1.1's "small multiple (2 in our
+        # implementation)" of the loss period.  Without it the watchdog
+        # uses the fixed MaxIT, suited to fixed-heartbeat senders.
+        self._heartbeat = heartbeat
+        # Maps wire address tokens (strings) to transport addresses: the
+        # simulator's identity by default; host:port parsing under asyncio.
+        self._parse_token = parse_token or (lambda token: token)
+        self._chain: tuple[Address, ...] = tuple(logger_chain)
+        self._source = source
+        self._tracker = SequenceTracker()
+        self._recoveries: dict[int, _Recovery] = {}
+        self._last_rx: float | None = None
+        self._on_channel = False  # subscribed to the retransmission channel
+        self._repeat_count = 0  # duplicates of the newest packet seen in a row
+        self._expected_interval = self._config.max_idle_time
+        self._fresh = True
+        self._stale_since: float | None = None
+        self._awaiting_primary = False
+
+        self.stats = {
+            "data_received": 0,
+            "heartbeats_received": 0,
+            "retrans_received": 0,
+            "duplicates": 0,
+            "nacks_sent": 0,
+            "losses_detected": 0,
+            "recoveries": 0,
+            "recovery_failures": 0,
+            "freshness_losses": 0,
+        }
+
+    # -- introspection ----------------------------------------------------
+
+    @property
+    def group(self) -> str:
+        return self._group
+
+    @property
+    def tracker(self) -> SequenceTracker:
+        return self._tracker
+
+    @property
+    def fresh(self) -> bool:
+        """False while the MaxIT freshness guarantee is broken."""
+        return self._fresh
+
+    @property
+    def missing(self) -> frozenset[int]:
+        """Sequence numbers currently being recovered."""
+        return self._tracker.missing
+
+    @property
+    def logger_chain(self) -> tuple[Address, ...]:
+        return self._chain
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def start(self, now: float) -> list[Action]:
+        """Join the group and arm the MaxIT freshness watchdog."""
+        self._last_rx = now
+        self._expected_interval = self._config.max_idle_time
+        self.timers.set(("maxit",), now + self._watchdog_timeout())
+        return [JoinGroup(group=self._group)]
+
+    def _watchdog_timeout(self) -> float:
+        return self._config.watchdog_slack * self._expected_interval
+
+    def _next_heartbeat_interval(self, hb_index: int) -> float:
+        """Interval until the sender's next heartbeat given its schedule."""
+        if self._heartbeat is None:
+            return self._config.max_idle_time
+        hb = self._heartbeat
+        return min(hb.h_min * hb.backoff**hb_index, hb.h_max)
+
+    def set_logger_chain(self, chain: tuple[Address, ...]) -> None:
+        """Install (or replace) the recovery chain, nearest logger first."""
+        self._chain = tuple(chain)
+        for recovery in self._recoveries.values():
+            recovery.level = min(recovery.level, max(len(self._chain) - 1, 0))
+
+    def abandon(self, seqs: tuple[int, ...]) -> None:
+        """Application decision: stop recovering ``seqs`` (§2 — receivers
+        are not obligated to retrieve every lost packet)."""
+        self._tracker.abandon(seqs)
+        for seq in seqs:
+            self._recoveries.pop(seq, None)
+            self.timers.cancel(("nack", seq))
+
+    # -- inbound ----------------------------------------------------------
+
+    def handle(self, packet: Packet, src: Address, now: float) -> list[Action]:
+        if isinstance(packet, DataPacket):
+            return self._on_data(packet, now)
+        if isinstance(packet, HeartbeatPacket):
+            return self._on_heartbeat(packet, now)
+        if isinstance(packet, RetransPacket):
+            return self._on_retrans(packet, now)
+        if isinstance(packet, PrimaryInfoPacket):
+            return self._on_primary_info(packet, now)
+        return []
+
+    def _on_data(self, packet: DataPacket, now: float) -> list[Action]:
+        already_highest = self._tracker.started and packet.seq == self._tracker.highest
+        report = self._tracker.observe_data(packet.seq)
+        if report.is_new:
+            self._repeat_count = 0
+            self._expected_interval = self._next_heartbeat_interval(0)
+        elif already_highest:
+            # A repeat of the newest packet occupies a heartbeat slot
+            # (§7's small-packet extension): advance the watchdog along
+            # the sender's backoff schedule like a heartbeat would.
+            self._repeat_count += 1
+            self._expected_interval = self._next_heartbeat_interval(self._repeat_count)
+        actions = self._liveness(now)
+        self.stats["data_received"] += 1
+        if report.is_new:
+            # Receiver-reliable: fresh data is delivered immediately, never
+            # held for in-order completion (§1, §5).
+            actions.append(Deliver(seq=packet.seq, payload=packet.payload, recovered=report.filled_gap))
+            if report.filled_gap:
+                # A sender repeat (§7 small-packet extension) or a
+                # re-multicast repaired this gap before our NACK did.
+                recovery = self._recoveries.pop(packet.seq, None)
+                self.timers.cancel(("nack", packet.seq))
+                if recovery is not None:
+                    self.stats["recoveries"] += 1
+                    actions.append(
+                        Notify(RecoveryComplete(seq=packet.seq, latency=now - recovery.detected_at))
+                    )
+        else:
+            self.stats["duplicates"] += 1
+        actions.extend(self._begin_recovery(report.new_gaps, now, via_silence=False))
+        actions.extend(self._maybe_leave_channel())
+        return actions
+
+    def _on_heartbeat(self, packet: HeartbeatPacket, now: float) -> list[Action]:
+        self._expected_interval = self._next_heartbeat_interval(packet.hb_index)
+        actions = self._liveness(now)
+        self.stats["heartbeats_received"] += 1
+        report = self._tracker.observe_heartbeat(packet.seq)
+        actions.extend(self._begin_recovery(report.new_gaps, now, via_silence=False))
+        return actions
+
+    def _on_retrans(self, packet: RetransPacket, now: float) -> list[Action]:
+        actions: list[Action] = []
+        self.stats["retrans_received"] += 1
+        report = self._tracker.observe_data(packet.seq)
+        if report.is_new:
+            actions.append(Deliver(seq=packet.seq, payload=packet.payload, recovered=True))
+            recovery = self._recoveries.pop(packet.seq, None)
+            self.timers.cancel(("nack", packet.seq))
+            if recovery is not None:
+                self.stats["recoveries"] += 1
+                actions.append(
+                    Notify(RecoveryComplete(seq=packet.seq, latency=now - recovery.detected_at))
+                )
+        else:
+            self.stats["duplicates"] += 1
+        actions.extend(self._begin_recovery(report.new_gaps, now, via_silence=False))
+        actions.extend(self._maybe_leave_channel())
+        return actions
+
+    def _on_primary_info(self, packet: PrimaryInfoPacket, now: float) -> list[Action]:
+        """The source told us the current primary: extend the chain."""
+        if not self._awaiting_primary:
+            return []
+        self._awaiting_primary = False
+        new_primary = self._parse_token(packet.primary_addr)
+        if new_primary not in self._chain:
+            self._chain = self._chain + (new_primary,)
+        actions: list[Action] = []
+        for recovery in self._recoveries.values():
+            recovery.level = len(self._chain) - 1
+            recovery.attempts = 0
+            self.timers.set(("nack", recovery.seq), now)
+        return actions
+
+    # -- loss detection & recovery -----------------------------------------
+
+    def _liveness(self, now: float) -> list[Action]:
+        self._last_rx = now
+        self.timers.set(("maxit",), now + self._watchdog_timeout())
+        if self._fresh:
+            return []
+        self._fresh = True
+        silent = now - self._stale_since if self._stale_since is not None else 0.0
+        self._stale_since = None
+        return [Notify(FreshnessRestored(silent_for=silent))]
+
+    def _begin_recovery(self, gaps: tuple[int, ...], now: float, via_silence: bool) -> list[Action]:
+        gaps = tuple(s for s in gaps if s not in self._recoveries)
+        if not gaps:
+            return []
+        self.stats["losses_detected"] += len(gaps)
+        actions: list[Action] = [Notify(LossDetected(seqs=gaps, via_silence=via_silence))]
+        fallback = self._config.retrans_channel_fallback
+        if fallback > 0:
+            # §7 extension: recover by listening to the retransmission
+            # channel; the logging hierarchy is only a fallback for
+            # packets that have aged off it.
+            if not self._on_channel:
+                self._on_channel = True
+                self.stats["channel_joins"] = self.stats.get("channel_joins", 0) + 1
+                actions.append(JoinGroup(group=f"{self._group}/retrans"))
+            for seq in gaps:
+                self._recoveries[seq] = _Recovery(seq=seq, detected_at=now)
+                self.timers.set(("nack", seq), now + fallback)
+            return actions
+        for seq in gaps:
+            self._recoveries[seq] = _Recovery(seq=seq, detected_at=now)
+            self.timers.set(("nack", seq), now + self._config.nack_delay)
+        if self._config.nack_delay == 0.0:
+            actions.extend(self._fire_nacks(list(gaps), now))
+        return actions
+
+    def _maybe_leave_channel(self) -> list[Action]:
+        """Unsubscribe from the retransmission channel once whole again."""
+        if self._on_channel and not self._recoveries:
+            self._on_channel = False
+            return [LeaveGroup(group=f"{self._group}/retrans")]
+        return []
+
+    def poll(self, now: float) -> list[Action]:
+        actions: list[Action] = []
+        due_nacks: list[int] = []
+        for key in self.timers.pop_due(now):
+            if key[0] == "maxit":
+                actions.extend(self._on_maxit(now))
+            elif key[0] == "nack":
+                due_nacks.append(key[1])
+        if due_nacks:
+            actions.extend(self._fire_nacks(due_nacks, now))
+        return actions
+
+    def _on_maxit(self, now: float) -> list[Action]:
+        idle = now - self._last_rx if self._last_rx is not None else self._config.max_idle_time
+        self.timers.set(("maxit",), now + self._watchdog_timeout())
+        if not self._fresh:
+            return []
+        self._fresh = False
+        self._stale_since = self._last_rx
+        self.stats["freshness_losses"] += 1
+        # Silence tells the receiver *that* it may have lost packets, not
+        # which — recovery begins when the next packet reveals the gap.
+        return [
+            Notify(FreshnessLost(idle_for=idle)),
+            Notify(LossDetected(seqs=(), via_silence=True)),
+        ]
+
+    def _fire_nacks(self, seqs: list[int], now: float) -> list[Action]:
+        """Send (or retry) retransmission requests, batched per target."""
+        actions: list[Action] = []
+        by_target: dict[Address, list[int]] = {}
+        for seq in sorted(seqs):
+            recovery = self._recoveries.get(seq)
+            if recovery is None:
+                self.timers.cancel(("nack", seq))
+                continue
+            if recovery.attempts >= self._config.max_nack_retries + 1:
+                actions.extend(self._escalate(recovery, now))
+                continue
+            target = self._target_for(recovery)
+            if target is None:
+                actions.extend(self._give_up(recovery, now))
+                continue
+            recovery.attempts += 1
+            by_target.setdefault(target, []).append(seq)
+            self.timers.set(("nack", seq), now + self._config.nack_retry)
+        for target, batch in by_target.items():
+            for start in range(0, len(batch), NackPacket.MAX_SEQS):
+                chunk = tuple(batch[start : start + NackPacket.MAX_SEQS])
+                self.stats["nacks_sent"] += 1
+                actions.append(SendUnicast(dest=target, packet=NackPacket(group=self._group, seqs=chunk)))
+        return actions
+
+    def _target_for(self, recovery: _Recovery) -> Address | None:
+        if not self._chain:
+            return None
+        level = min(recovery.level, len(self._chain) - 1)
+        return self._chain[level]
+
+    def _escalate(self, recovery: _Recovery, now: float) -> list[Action]:
+        """The current logger exhausted its retries: go up the hierarchy."""
+        current = self._target_for(recovery)
+        actions: list[Action] = []
+        if current is not None:
+            actions.append(Notify(LoggerUnreachable(logger=current)))
+        if recovery.level + 1 < len(self._chain):
+            recovery.level += 1
+            recovery.attempts = 0
+            self.timers.set(("nack", recovery.seq), now)
+            return actions
+        if self._source is not None and recovery.requeries < 1:
+            # Whole chain dead: ask the source for the current primary.
+            # One re-query per recovery — if the answer is the same dead
+            # primary (no replicas to fail over to), give up cleanly
+            # rather than NACK forever.
+            recovery.requeries += 1
+            recovery.attempts = 0
+            self.timers.set(("nack", recovery.seq), now + self._config.nack_retry)
+            if not self._awaiting_primary:
+                self._awaiting_primary = True
+                actions.append(
+                    SendUnicast(dest=self._source, packet=PrimaryQueryPacket(group=self._group))
+                )
+            return actions
+        actions.extend(self._give_up(recovery, now))
+        return actions
+
+    def _give_up(self, recovery: _Recovery, now: float) -> list[Action]:
+        self._recoveries.pop(recovery.seq, None)
+        self.timers.cancel(("nack", recovery.seq))
+        self._tracker.abandon((recovery.seq,))
+        self.stats["recovery_failures"] += 1
+        actions: list[Action] = [Notify(RecoveryFailed(seq=recovery.seq, attempts=recovery.attempts))]
+        actions.extend(self._maybe_leave_channel())
+        return actions
+

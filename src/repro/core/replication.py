@@ -1,0 +1,127 @@
+"""Primary-log replication (§2.2.3).
+
+The primary logging server reliably pushes every logged packet to its
+replicas and tracks two watermarks:
+
+* ``primary_seq`` — highest contiguous sequence the primary itself holds
+  (reported to the source so the *application* may continue), and
+* ``replica_seq`` — highest sequence known to be held by at least
+  ``min_replicas_acked`` replicas (the source may *discard* data only up
+  to here).
+
+With ``min_replicas_acked = 1`` a total log loss needs the primary and
+the most up-to-date replica to fail simultaneously; raising it extends
+the guarantee to the second-most up-to-date replica "and so forth", as
+the paper notes.
+"""
+
+from __future__ import annotations
+
+from repro.core.actions import Action, Address, SendUnicast
+from repro.core.config import ReplicationConfig
+from repro.core.machine import TimerSet
+from repro.core.packets import ReplUpdatePacket
+
+__all__ = ["ReplicationManager"]
+
+
+class ReplicationManager:
+    """Primary-side bookkeeping of replica progress and retransmissions."""
+
+    def __init__(
+        self,
+        group: str,
+        replicas: tuple[Address, ...],
+        config: ReplicationConfig | None = None,
+    ) -> None:
+        self._group = group
+        self._replicas = tuple(replicas)
+        self._config = config or ReplicationConfig()
+        # Per-replica cumulative ACK (None = nothing confirmed yet).
+        self._acked: dict[Address, int | None] = {r: None for r in self._replicas}
+        # Per-replica outstanding updates: seq -> (payload, retries so far).
+        self._outstanding: dict[Address, dict[int, tuple[bytes, int]]] = {
+            r: {} for r in self._replicas
+        }
+        self.timers = TimerSet()
+        self.stats = {"updates_sent": 0, "update_retries": 0, "acks_received": 0}
+
+    # -- introspection ----------------------------------------------------
+
+    @property
+    def replicas(self) -> tuple[Address, ...]:
+        return self._replicas
+
+    @property
+    def replica_seq(self) -> int:
+        """Highest sequence held by >= ``min_replicas_acked`` replicas (0 if none)."""
+        if not self._replicas:
+            return 0
+        acked = sorted((a if a is not None else 0) for a in self._acked.values())
+        m = min(self._config.min_replicas_acked, len(acked))
+        # m-th highest cumulative ACK: index -m from the end.
+        return acked[-m]
+
+    def acked_by(self, replica: Address) -> int | None:
+        """Cumulative sequence confirmed by ``replica`` (None = none yet)."""
+        return self._acked.get(replica)
+
+    # -- operations ----------------------------------------------------------
+
+    def replicate(self, seq: int, payload: bytes, now: float) -> list[Action]:
+        """Push one logged packet to every replica (reliable until acked)."""
+        actions: list[Action] = []
+        update = ReplUpdatePacket(group=self._group, seq=seq, payload=payload)
+        for replica in self._replicas:
+            self._outstanding[replica][seq] = (payload, 0)
+            self.timers.set(("repl_retry", replica), now + self._config.update_retry)
+            self.stats["updates_sent"] += 1
+            actions.append(SendUnicast(dest=replica, packet=update))
+        return actions
+
+    def on_ack(self, replica: Address, cum_seq: int, now: float) -> bool:
+        """Record a cumulative replica ACK.  True if ``replica_seq`` grew."""
+        if replica not in self._acked:
+            return False
+        self.stats["acks_received"] += 1
+        before = self.replica_seq
+        current = self._acked[replica]
+        if current is None or cum_seq > current:
+            self._acked[replica] = cum_seq
+        pending = self._outstanding[replica]
+        for seq in [s for s in pending if s <= cum_seq]:
+            del pending[seq]
+        if not pending:
+            self.timers.cancel(("repl_retry", replica))
+        return self.replica_seq > before
+
+    def poll(self, now: float) -> list[Action]:
+        """Retransmit updates a replica has not confirmed in time."""
+        actions: list[Action] = []
+        for key in self.timers.pop_due(now):
+            if key[0] != "repl_retry":
+                continue
+            replica = key[1]
+            pending = self._outstanding.get(replica, {})
+            if not pending:
+                continue
+            alive: dict[int, tuple[bytes, int]] = {}
+            for seq in sorted(pending):
+                payload, retries = pending[seq]
+                if retries >= self._config.max_update_retries:
+                    continue  # replica presumed dead for this entry; drop it
+                alive[seq] = (payload, retries + 1)
+                self.stats["update_retries"] += 1
+                actions.append(
+                    SendUnicast(
+                        dest=replica,
+                        packet=ReplUpdatePacket(group=self._group, seq=seq, payload=payload),
+                    )
+                )
+            self._outstanding[replica] = alive
+            if alive:
+                self.timers.set(("repl_retry", replica), now + self._config.update_retry)
+        return actions
+
+    def next_wakeup(self) -> float | None:
+        return self.timers.next_deadline()

@@ -1,0 +1,260 @@
+"""Turn-key LBRM deployments on the simulated WAN.
+
+The paper's canonical evaluation scenario (§2.2.2) is "1,000 subscribers
+distributed across 50 sites with 20 participating receivers at each
+site", with the source and primary logger at their own site, ~80 ms RTT
+across the WAN and ~4 ms RTT within a site.  :class:`LbrmDeployment`
+builds exactly that (any dimensions), wires senders, loggers, replicas,
+and receivers together, and exposes the pieces for experiments to poke
+at — inject loss on one tail circuit, kill the primary, etc.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.config import LbrmConfig
+from repro.core.logger import LoggerRole, LogServer
+from repro.core.receiver import LbrmReceiver
+from repro.core.sender import LbrmSender
+from repro.simnet.engine import Simulator
+from repro.simnet.node import SimNode
+from repro.simnet.rng import RngStreams
+from repro.simnet.topology import Network, Site
+from repro.simnet.trace import PacketTrace
+
+__all__ = ["DeploymentSpec", "LbrmDeployment"]
+
+
+@dataclass(frozen=True)
+class DeploymentSpec:
+    """Shape and parameters of a simulated LBRM deployment.
+
+    Latency defaults follow the paper's ping survey (§2.2.2): a local
+    logger 3–4 ms RTT away, a primary ~80 ms RTT away — so 1 ms one-way
+    on the LAN and 17.5 ms one-way on each tail circuit
+    (2×(1+17.5+2.5+17.5+1) ≈ 79 ms host-to-host RTT across sites).
+    """
+
+    group: str = "dis/terrain/1"
+    n_sites: int = 50
+    receivers_per_site: int = 20
+    n_replicas: int = 0
+    lan_latency: float = 0.001
+    tail_latency: float = 0.0175
+    backbone_latency: float = 0.0025
+    tail_bandwidth: float = 0.0  # bits/s; 0 = uncongested
+    tail_queue: int = 0
+    secondary_loggers: bool = True
+    # §7 extension: "A multi-level hierarchy of logging servers may be
+    # used to further reduce NACK bandwidth in large groups."  When > 0,
+    # every `region_size` consecutive sites share a *regional* logger
+    # that site loggers call back to, and only regions NACK the primary.
+    region_size: int = 0
+    enable_statack: bool = False
+    config: LbrmConfig = field(default_factory=LbrmConfig)
+    seed: int = 0
+
+
+class LbrmDeployment:
+    """A built deployment: network, nodes, and protocol machines."""
+
+    def __init__(self, spec: DeploymentSpec | None = None, sim: Simulator | None = None) -> None:
+        self.spec = spec or DeploymentSpec()
+        self.sim = sim or Simulator()
+        self.streams = RngStreams(self.spec.seed)
+        self.network = Network(
+            self.sim, streams=self.streams, backbone_latency=self.spec.backbone_latency
+        )
+        self.trace = PacketTrace(self.network)
+
+        self.source_site: Site | None = None
+        self.receiver_sites: list[Site] = []
+        self.sender: LbrmSender | None = None
+        self.source_node: SimNode | None = None
+        self.primary: LogServer | None = None
+        self.primary_node: SimNode | None = None
+        self.replicas: list[LogServer] = []
+        self.replica_nodes: list[SimNode] = []
+        self.site_loggers: list[LogServer] = []
+        self.site_logger_nodes: list[SimNode] = []
+        self.regional_loggers: list[LogServer] = []
+        self.regional_logger_nodes: list[SimNode] = []
+        self.receivers: list[LbrmReceiver] = []
+        self.receiver_nodes: list[SimNode] = []
+        self._build()
+
+    # -- construction ----------------------------------------------------
+
+    def _build(self) -> None:
+        spec = self.spec
+        self.source_site = self._add_site("site0")
+        source_host = self.network.add_host("source", self.source_site)
+        primary_host = self.network.add_host("primary", self.source_site)
+
+        replica_names = [f"replica{i}" for i in range(spec.n_replicas)]
+        self.primary = LogServer(
+            spec.group,
+            addr_token="primary",
+            config=spec.config,
+            role=LoggerRole.PRIMARY,
+            source="source",
+            replicas=tuple(replica_names),
+            level=0,
+        )
+        self.primary_node = SimNode(self.network, primary_host, [self.primary])
+
+        for name in replica_names:
+            host = self.network.add_host(name, self.source_site)
+            replica = LogServer(
+                spec.group,
+                addr_token=name,
+                config=spec.config,
+                role=LoggerRole.REPLICA,
+                source="source",
+            )
+            self.replicas.append(replica)
+            self.replica_nodes.append(SimNode(self.network, host, [replica]))
+
+        self.sender = LbrmSender(
+            spec.group,
+            spec.config,
+            primary="primary",
+            replicas=tuple(replica_names),
+            enable_statack=spec.enable_statack,
+            addr_token="source",
+            rng=self.streams.stream("sender"),
+        )
+        self.source_node = SimNode(self.network, source_host, [self.sender])
+
+        for i in range(1, spec.n_sites + 1):
+            site = self._add_site(f"site{i}")
+            self.receiver_sites.append(site)
+            # Multi-level hierarchy: a regional logger at the first site
+            # of each region, parented to the primary (§7 extension).
+            regional_name: str | None = None
+            if spec.secondary_loggers and spec.region_size > 0:
+                region_index = (i - 1) // spec.region_size
+                regional_name = f"region{region_index}-logger"
+                if (i - 1) % spec.region_size == 0:
+                    regional_host = self.network.add_host(regional_name, site)
+                    regional = LogServer(
+                        spec.group,
+                        addr_token=regional_name,
+                        config=spec.config,
+                        role=LoggerRole.SECONDARY,
+                        parent="primary",
+                        source="source",
+                        level=1,
+                        rng=self.streams.stream(f"logger:{regional_name}"),
+                    )
+                    self.regional_loggers.append(regional)
+                    self.regional_logger_nodes.append(
+                        SimNode(self.network, regional_host, [regional])
+                    )
+            chain: tuple[str, ...]
+            if spec.secondary_loggers:
+                logger_name = f"site{i}-logger"
+                logger_host = self.network.add_host(logger_name, site)
+                parent = regional_name if regional_name is not None else "primary"
+                logger = LogServer(
+                    spec.group,
+                    addr_token=logger_name,
+                    config=spec.config,
+                    role=LoggerRole.SECONDARY,
+                    parent=parent,
+                    source="source",
+                    level=2 if regional_name is not None else 1,
+                    rng=self.streams.stream(f"logger:{logger_name}"),
+                )
+                self.site_loggers.append(logger)
+                self.site_logger_nodes.append(SimNode(self.network, logger_host, [logger]))
+                if regional_name is not None:
+                    chain = (logger_name, regional_name, "primary")
+                else:
+                    chain = (logger_name, "primary")
+            else:
+                chain = ("primary",)
+            for j in range(spec.receivers_per_site):
+                rx_name = f"site{i}-rx{j}"
+                rx_host = self.network.add_host(rx_name, site)
+                receiver = LbrmReceiver(
+                    spec.group,
+                    spec.config.receiver,
+                    logger_chain=chain,
+                    source="source",
+                    heartbeat=spec.config.heartbeat,
+                )
+                self.receivers.append(receiver)
+                self.receiver_nodes.append(SimNode(self.network, rx_host, [receiver]))
+
+    def _add_site(self, name: str) -> Site:
+        spec = self.spec
+        return self.network.add_site(
+            name,
+            lan_latency=spec.lan_latency,
+            tail_latency=spec.tail_latency,
+            tail_bandwidth=spec.tail_bandwidth,
+            tail_queue=spec.tail_queue,
+        )
+
+    # -- operation ----------------------------------------------------------
+
+    def start(self) -> None:
+        """Start every node (group joins, watchdogs, statack bootstrap)."""
+        for node in self.all_nodes():
+            node.start()
+
+    def all_nodes(self) -> list[SimNode]:
+        nodes: list[SimNode] = []
+        if self.primary_node is not None:
+            nodes.append(self.primary_node)
+        nodes.extend(self.replica_nodes)
+        nodes.extend(self.regional_logger_nodes)
+        nodes.extend(self.site_logger_nodes)
+        nodes.extend(self.receiver_nodes)
+        if self.source_node is not None:
+            nodes.append(self.source_node)
+        return nodes
+
+    def send(self, payload: bytes) -> int:
+        """Multicast one data packet from the source; returns its seq."""
+        assert self.sender is not None and self.source_node is not None
+        self.source_node.send_app(self.sender, payload)
+        return self.sender.seq
+
+    def advance(self, dt: float) -> None:
+        """Run the simulation forward ``dt`` seconds."""
+        self.sim.run_until(self.sim.now + dt)
+
+    # -- experiment hooks ----------------------------------------------------
+
+    def burst_site(self, site_name: str, duration: float) -> None:
+        """Drop everything entering ``site_name`` for ``duration`` seconds
+        starting now — the Figure 1 congested-tail-circuit event."""
+        from repro.simnet.loss import BurstLoss
+
+        site = self.network.site(site_name)
+        site.tail_down.loss = BurstLoss([(self.sim.now, self.sim.now + duration)])
+
+    def burst_sites(self, site_names: list[str], duration: float) -> None:
+        """Burst several sites' tail circuits simultaneously."""
+        for name in site_names:
+            self.burst_site(name, duration)
+
+    def kill_site_logger(self, index: int) -> None:
+        """Crash one secondary logger (0-based, in site order)."""
+        self.site_logger_nodes[index].machines.clear()
+
+    def kill_primary(self) -> None:
+        """Crash the primary logger: it stops answering everything."""
+        assert self.primary_node is not None
+        self.primary_node.machines.clear()
+
+    def receivers_missing(self) -> int:
+        """Total outstanding missing sequence numbers across receivers."""
+        return sum(len(r.missing) for r in self.receivers)
+
+    def receivers_with(self, seq: int) -> int:
+        """How many receivers hold ``seq``."""
+        return sum(1 for r in self.receivers if r.tracker.has(seq))

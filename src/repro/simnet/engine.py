@@ -1,0 +1,109 @@
+"""Deterministic discrete-event simulation engine.
+
+A minimal, fast event loop: a heap of ``(time, tie, callback)`` entries
+with stable FIFO ordering for simultaneous events and O(1) cancellation
+by tombstone.  Every benchmark and integration test in this repository
+runs on this engine with a seeded RNG, so results are bit-for-bit
+reproducible.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable
+
+__all__ = ["ScheduledEvent", "Simulator"]
+
+
+class ScheduledEvent:
+    """Handle to a scheduled callback; cancellable until it fires."""
+
+    __slots__ = ("time", "tie", "callback", "args", "cancelled")
+
+    def __init__(self, time: float, tie: int, callback: Callable[..., Any], args: tuple) -> None:
+        self.time = time
+        self.tie = tie
+        self.callback = callback
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent the event from firing (no-op if it already fired)."""
+        self.cancelled = True
+
+    def __lt__(self, other: "ScheduledEvent") -> bool:
+        return (self.time, self.tie) < (other.time, other.tie)
+
+
+class Simulator:
+    """The simulation clock and event queue."""
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = start
+        self._queue: list[ScheduledEvent] = []
+        self._tie = itertools.count()
+        self._processed = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    @property
+    def pending(self) -> int:
+        """Events scheduled but not yet fired (including cancelled shells)."""
+        return len(self._queue)
+
+    @property
+    def processed(self) -> int:
+        """Total events executed so far."""
+        return self._processed
+
+    def schedule(self, at: float, callback: Callable[..., Any], *args: Any) -> ScheduledEvent:
+        """Run ``callback(*args)`` at absolute time ``at``.
+
+        Scheduling in the past is clamped to *now* (fires next) rather
+        than rejected — protocol machines legitimately ask for immediate
+        wakeups.
+        """
+        event = ScheduledEvent(max(at, self._now), next(self._tie), callback, args)
+        heapq.heappush(self._queue, event)
+        return event
+
+    def schedule_in(self, delay: float, callback: Callable[..., Any], *args: Any) -> ScheduledEvent:
+        """Run ``callback(*args)`` after ``delay`` seconds."""
+        return self.schedule(self._now + delay, callback, *args)
+
+    def run_until(self, deadline: float, max_events: int | None = None) -> int:
+        """Execute events with time <= ``deadline``; returns events run.
+
+        The clock lands exactly on ``deadline`` afterwards, so repeated
+        ``run_until`` calls paint a contiguous timeline.
+        """
+        executed = 0
+        while self._queue and self._queue[0].time <= deadline:
+            if max_events is not None and executed >= max_events:
+                break
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            self._now = event.time
+            event.callback(*event.args)
+            self._processed += 1
+            executed += 1
+        self._now = max(self._now, deadline)
+        return executed
+
+    def run(self, max_events: int = 10_000_000) -> int:
+        """Drain the queue entirely (bounded by ``max_events``)."""
+        executed = 0
+        while self._queue and executed < max_events:
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            self._now = event.time
+            event.callback(*event.args)
+            self._processed += 1
+            executed += 1
+        return executed

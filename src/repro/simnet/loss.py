@@ -1,0 +1,141 @@
+"""Packet-loss models for simulated links and hosts.
+
+The paper's analysis (§2.1.1) uses a simple *burst* model — "the network
+experiences a burst congestion period of duration t_burst during which a
+given host receives no packets" — provided here as
+:class:`BurstLoss` with deterministic windows.  For steadier background
+loss, :class:`BernoulliLoss` drops i.i.d. and :class:`GilbertElliottLoss`
+produces the correlated bursts real congestion exhibits.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Protocol
+
+__all__ = [
+    "LossModel",
+    "NoLoss",
+    "BernoulliLoss",
+    "BurstLoss",
+    "GilbertElliottLoss",
+    "CompositeLoss",
+]
+
+
+class LossModel(Protocol):
+    """Decides the fate of one packet crossing a link at time ``now``."""
+
+    def drops(self, now: float) -> bool:
+        """True when the packet is lost."""
+        ...
+
+
+class NoLoss:
+    """A perfect link."""
+
+    def drops(self, now: float) -> bool:
+        return False
+
+
+class BernoulliLoss:
+    """Independent loss with fixed probability ``p``."""
+
+    def __init__(self, p: float, rng: random.Random | None = None) -> None:
+        if not 0.0 <= p <= 1.0:
+            raise ValueError(f"loss probability must be in [0, 1], got {p}")
+        self._p = p
+        self._rng = rng or random.Random()
+
+    @property
+    def p(self) -> float:
+        return self._p
+
+    def drops(self, now: float) -> bool:
+        return self._rng.random() < self._p
+
+
+class BurstLoss:
+    """Total loss inside configured time windows, perfect outside.
+
+    This is the §2.1.1 burst congestion model: windows are
+    ``(start, end)`` pairs in simulation time.  An optional ``base``
+    model applies outside the windows.
+    """
+
+    def __init__(self, windows: list[tuple[float, float]], base: LossModel | None = None) -> None:
+        for start, end in windows:
+            if end < start:
+                raise ValueError(f"burst window ends before it starts: ({start}, {end})")
+        self._windows = sorted(windows)
+        self._base = base or NoLoss()
+
+    @property
+    def windows(self) -> list[tuple[float, float]]:
+        return list(self._windows)
+
+    def drops(self, now: float) -> bool:
+        for start, end in self._windows:
+            if start <= now < end:
+                return True
+            if start > now:
+                break
+        return self._base.drops(now)
+
+
+class GilbertElliottLoss:
+    """Two-state Markov loss: a *good* state with light loss and a *bad*
+    (congested) state with heavy loss.
+
+    State transitions are evaluated per packet, which for roughly
+    regular traffic approximates the continuous-time chain and keeps the
+    model deterministic under a seeded RNG.
+    """
+
+    def __init__(
+        self,
+        p_good_to_bad: float = 0.01,
+        p_bad_to_good: float = 0.2,
+        loss_good: float = 0.0,
+        loss_bad: float = 0.9,
+        rng: random.Random | None = None,
+    ) -> None:
+        for name, p in (
+            ("p_good_to_bad", p_good_to_bad),
+            ("p_bad_to_good", p_bad_to_good),
+            ("loss_good", loss_good),
+            ("loss_bad", loss_bad),
+        ):
+            if not 0.0 <= p <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {p}")
+        self._p_gb = p_good_to_bad
+        self._p_bg = p_bad_to_good
+        self._loss_good = loss_good
+        self._loss_bad = loss_bad
+        self._bad = False
+        self._rng = rng or random.Random()
+
+    @property
+    def in_bad_state(self) -> bool:
+        return self._bad
+
+    def drops(self, now: float) -> bool:
+        if self._bad:
+            if self._rng.random() < self._p_bg:
+                self._bad = False
+        else:
+            if self._rng.random() < self._p_gb:
+                self._bad = True
+        p = self._loss_bad if self._bad else self._loss_good
+        return self._rng.random() < p
+
+
+class CompositeLoss:
+    """Drops when *any* member model drops (e.g. burst over Bernoulli)."""
+
+    def __init__(self, *models: LossModel) -> None:
+        self._models = models
+
+    def drops(self, now: float) -> bool:
+        # Evaluate all models so stateful members keep advancing.
+        return any([model.drops(now) for model in self._models])

@@ -1,0 +1,146 @@
+"""Binding protocol machines to simulated hosts.
+
+A :class:`SimNode` owns one or more sans-IO machines on one host.  It
+dispatches inbound packets to every machine, executes the actions they
+return (transmissions via the network, deliveries and events into local
+sinks), and keeps each machine's next wakeup scheduled on the simulator.
+
+The node is also where LBRM's address tokens resolve: in the simulator
+an address *is* the host name, so token parsing is the identity.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.core.actions import (
+    Action,
+    Deliver,
+    JoinGroup,
+    LeaveGroup,
+    Notify,
+    SendMulticast,
+    SendUnicast,
+)
+from repro.core.events import Event
+from repro.core.machine import ProtocolMachine
+from repro.core.packets import Packet
+from repro.simnet.engine import ScheduledEvent, Simulator
+from repro.simnet.topology import Host, Network
+
+__all__ = ["SimNode"]
+
+
+class SimNode:
+    """A host's protocol stack inside the simulation."""
+
+    def __init__(
+        self,
+        network: Network,
+        host: Host,
+        machines: list[ProtocolMachine] | None = None,
+        on_deliver: Callable[[Deliver, float], None] | None = None,
+        on_event: Callable[[Event, float], None] | None = None,
+    ) -> None:
+        self._network = network
+        self._sim: Simulator = network.sim
+        self.host = host
+        self.machines: list[ProtocolMachine] = list(machines or [])
+        self._on_deliver = on_deliver
+        self._on_event = on_event
+        self._wakeup: ScheduledEvent | None = None
+        self.delivered: list[Deliver] = []
+        self.events: list[Event] = []
+        host.attach(self)
+
+    @property
+    def name(self) -> str:
+        return self.host.name
+
+    @property
+    def now(self) -> float:
+        return self._sim.now
+
+    # -- machine management ----------------------------------------------------
+
+    def add_machine(self, machine: ProtocolMachine) -> None:
+        self.machines.append(machine)
+        self._reschedule()
+
+    def start(self) -> None:
+        """Call each machine's ``start`` hook (if it has one) and arm timers."""
+        for machine in self.machines:
+            start = getattr(machine, "start", None)
+            if callable(start):
+                self.execute(start(self._sim.now))
+        self._reschedule()
+
+    # -- the harness contract ---------------------------------------------------
+
+    def receive(self, packet: Packet, src: str, now: float) -> None:
+        """Network delivery entry point (called by :class:`Network`)."""
+        for machine in self.machines:
+            self.execute(machine.handle(packet, src, now))
+        self._reschedule()
+
+    def poll(self) -> None:
+        now = self._sim.now
+        self._wakeup = None
+        for machine in self.machines:
+            self.execute(machine.poll(now))
+        self._reschedule()
+
+    def execute(self, actions: list[Action]) -> None:
+        """Carry out protocol actions against the simulated network."""
+        for action in actions:
+            if isinstance(action, SendUnicast):
+                self._network.send_unicast(self.name, action.dest, action.packet)
+            elif isinstance(action, SendMulticast):
+                self._network.send_multicast(self.name, action.group, action.packet, action.ttl)
+            elif isinstance(action, Deliver):
+                self.delivered.append(action)
+                if self._on_deliver is not None:
+                    self._on_deliver(action, self._sim.now)
+            elif isinstance(action, Notify):
+                self.events.append(action.event)
+                if self._on_event is not None:
+                    self._on_event(action.event, self._sim.now)
+            elif isinstance(action, JoinGroup):
+                self._network.join(action.group, self.name)
+            elif isinstance(action, LeaveGroup):
+                self._network.leave(action.group, self.name)
+            else:  # pragma: no cover - future action types
+                raise TypeError(f"unknown action {action!r}")
+
+    # -- app-facing helpers ----------------------------------------------------
+
+    def send_app(self, machine, payload: bytes) -> None:
+        """Have a sender machine multicast application data now."""
+        self.execute(machine.send(payload, self._sim.now))
+        self._reschedule()
+
+    def run_machine(self, fn, *args) -> None:
+        """Execute ``fn(*args)`` returning actions, then reschedule."""
+        self.execute(fn(*args))
+        self._reschedule()
+
+    def events_of(self, event_type) -> list[Event]:
+        """All observed events of ``event_type`` so far."""
+        return [e for e in self.events if isinstance(e, event_type)]
+
+    # -- wakeup plumbing ----------------------------------------------------
+
+    def _reschedule(self) -> None:
+        deadlines = [m.next_wakeup() for m in self.machines]
+        deadlines = [d for d in deadlines if d is not None]
+        next_due = min(deadlines) if deadlines else None
+        if next_due is None:
+            if self._wakeup is not None:
+                self._wakeup.cancel()
+                self._wakeup = None
+            return
+        if self._wakeup is not None:
+            if self._wakeup.time <= next_due and not self._wakeup.cancelled:
+                return  # an earlier-or-equal wakeup is already pending
+            self._wakeup.cancel()
+        self._wakeup = self._sim.schedule(next_due, self.poll)

@@ -1,0 +1,108 @@
+"""Canonical experiment scenarios shared by tests and benchmarks.
+
+These build the §6 comparison worlds — the same topology and loss
+pattern under LBRM and under the wb/SRM baseline — so the crying-baby
+and recovery-latency experiments measure protocols, not harness
+differences.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.srm import SrmMember, SrmSender
+from repro.core.config import LbrmConfig
+from repro.core.logger import LoggerRole, LogServer
+from repro.core.receiver import LbrmReceiver
+from repro.core.sender import LbrmSender
+from repro.simnet.loss import BernoulliLoss
+from repro.simnet.node import SimNode
+from repro.simnet.rng import RngStreams
+from repro.simnet.topology import Network
+from repro.simnet.engine import Simulator
+
+__all__ = ["CRYING_BABY", "run_srm_crying_baby", "run_lbrm_crying_baby"]
+
+# The §6 crying-baby configuration: one receiver behind a terrible link.
+CRYING_BABY = {
+    "n_sites": 4,
+    "rx_per_site": 3,
+    "baby_loss": 0.4,
+    "n_packets": 30,
+    "d_source": 0.04,
+}
+
+
+def _topology(sim: Simulator, seed: int) -> tuple[Network, list]:
+    net = Network(sim, streams=RngStreams(seed))
+    sites = [net.add_site(f"s{i}") for i in range(CRYING_BABY["n_sites"] + 1)]
+    return net, sites
+
+
+def run_srm_crying_baby(seed: int = 0):
+    """wb/SRM world: returns (members, innocent_member)."""
+    sim = Simulator()
+    net, sites = _topology(sim, seed)
+    streams = RngStreams(seed + 100)
+    src_host = net.add_host("src", sites[0])
+    sender = SrmSender("g")
+    src_node = SimNode(net, src_host, [sender])
+    src_node.start()
+    net.join("g", "src")
+    members = []
+    nodes = []
+    for i in range(CRYING_BABY["n_sites"]):
+        for j in range(CRYING_BABY["rx_per_site"]):
+            name = f"m{i}-{j}"
+            host = net.add_host(name, sites[i + 1])
+            member = SrmMember("g", d_source=CRYING_BABY["d_source"],
+                               rng=streams.stream(name))
+            node = SimNode(net, host, [member])
+            node.start()
+            members.append(member)
+            nodes.append((name, host, member))
+    baby_host = nodes[0][1]
+    baby_host.inbound_loss = BernoulliLoss(CRYING_BABY["baby_loss"], streams.stream("baby-loss"))
+    src_node_endpoint = net.host("src").endpoint
+    for _ in range(CRYING_BABY["n_packets"]):
+        src_node_endpoint.send_app(sender, b"payload")
+        sim.run_until(sim.now + 0.5)
+    sim.run_until(sim.now + 5.0)
+    innocent = nodes[-1][2]
+    return members, innocent
+
+
+def run_lbrm_crying_baby(seed: int = 0):
+    """LBRM world: returns (receivers, hosts)."""
+    sim = Simulator()
+    net, sites = _topology(sim, seed)
+    streams = RngStreams(seed + 200)
+    cfg = LbrmConfig()
+    src_host = net.add_host("src", sites[0])
+    prim_host = net.add_host("primary", sites[0])
+    primary = LogServer("g", addr_token="primary", config=cfg,
+                        role=LoggerRole.PRIMARY, source="src", level=0)
+    SimNode(net, prim_host, [primary]).start()
+    sender = LbrmSender("g", cfg, primary="primary", addr_token="src")
+    src_node = SimNode(net, src_host, [sender])
+    src_node.start()
+    receivers = []
+    hosts = []
+    for i in range(CRYING_BABY["n_sites"]):
+        lg_host = net.add_host(f"lg{i}", sites[i + 1])
+        logger = LogServer("g", addr_token=f"lg{i}", config=cfg,
+                           role=LoggerRole.SECONDARY, parent="primary",
+                           source="src", rng=streams.stream(f"lg{i}"))
+        SimNode(net, lg_host, [logger]).start()
+        for j in range(CRYING_BABY["rx_per_site"]):
+            name = f"m{i}-{j}"
+            host = net.add_host(name, sites[i + 1])
+            rx = LbrmReceiver("g", cfg.receiver, logger_chain=(f"lg{i}", "primary"),
+                              source="src", heartbeat=cfg.heartbeat)
+            SimNode(net, host, [rx]).start()
+            receivers.append(rx)
+            hosts.append(host)
+    hosts[0].inbound_loss = BernoulliLoss(CRYING_BABY["baby_loss"], streams.stream("baby-loss"))
+    for _ in range(CRYING_BABY["n_packets"]):
+        src_node.send_app(sender, b"payload")
+        sim.run_until(sim.now + 0.5)
+    sim.run_until(sim.now + 5.0)
+    return receivers, hosts

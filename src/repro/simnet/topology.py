@@ -1,0 +1,274 @@
+"""WAN topology with sites, tail circuits, and multicast routing.
+
+The model mirrors the paper's Figure 1: hosts live on site LANs, each
+site hangs off the wide-area backbone through a *tail circuit* (the
+expensive, congestion-prone T1), and the backbone itself is fast and
+lightly loaded.  Paths:
+
+* same site:   ``LAN``                                    (1 hop)
+* cross site:  ``LAN → tail-up → backbone → tail-down → LAN``  (4 hops)
+
+so a TTL of 1 scopes a multicast to the sender's site — matching the
+paper's use of the TTL field to keep secondary-logger repairs local
+(§2.2.1).
+
+Multicast follows a shared distribution tree: each link carries one copy
+per transmission regardless of how many group members sit behind it, and
+a loss on a link is shared by everyone downstream — which is what makes
+"congestion on the incoming tail circuit causes packet loss at an entire
+site" (§2.2.2) come out naturally.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Protocol
+
+from repro.core.packets import Packet, encode
+from repro.simnet.engine import Simulator
+from repro.simnet.links import Link
+from repro.simnet.loss import LossModel
+from repro.simnet.rng import RngStreams
+
+__all__ = ["Host", "Site", "Network", "wire_size", "SAME_SITE_HOPS", "CROSS_SITE_HOPS"]
+
+SAME_SITE_HOPS = 1
+CROSS_SITE_HOPS = 4
+
+_SIZE_CACHE: dict[int, int] = {}
+
+
+def wire_size(packet: Packet) -> int:
+    """Encoded size of ``packet`` in bytes (cached per type + payload len).
+
+    Exact for fixed-size messages; for payload-bearing ones the size is
+    header + payload, so the cache key includes the payload length.
+    """
+    payload = getattr(packet, "payload", b"")
+    key = (int(packet.TYPE) << 32) | len(payload)
+    size = _SIZE_CACHE.get(key)
+    if size is None:
+        size = len(encode(packet))
+        _SIZE_CACHE[key] = size
+    return size
+
+
+class Endpoint(Protocol):
+    """What the network delivers packets to (see :mod:`repro.simnet.node`)."""
+
+    def receive(self, packet: Packet, src: str, now: float) -> None: ...
+
+
+@dataclass
+class Host:
+    """A simulated host: a name, a site, and an attached endpoint."""
+
+    name: str
+    site: "Site"
+    inbound_loss: LossModel | None = None
+    endpoint: Endpoint | None = None
+
+    rx_packets: int = 0
+    rx_dropped: int = 0
+
+    def attach(self, endpoint: Endpoint) -> None:
+        self.endpoint = endpoint
+
+
+@dataclass
+class Site:
+    """A topologically localized part of the network (LAN + tail circuit)."""
+
+    name: str
+    lan: Link
+    tail_up: Link
+    tail_down: Link
+    hosts: list[Host] = field(default_factory=list)
+
+
+class Network:
+    """The simulated internetwork: sites, hosts, groups, and routing."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        streams: RngStreams | None = None,
+        backbone_latency: float = 0.005,
+    ) -> None:
+        self.sim = sim
+        self.streams = streams or RngStreams(seed=0)
+        self.backbone = Link("backbone", latency=backbone_latency)
+        self._sites: dict[str, Site] = {}
+        self._hosts: dict[str, Host] = {}
+        self._groups: dict[str, set[str]] = {}
+        # Optional observer called for every delivered/dropped packet:
+        # fn(kind, packet, src, dst, now) with kind in {"rx", "drop"}.
+        self.observer: Callable[[str, Packet, str, str, float], None] | None = None
+        self.stats = {"unicast_sent": 0, "multicast_sent": 0, "delivered": 0, "dropped": 0}
+
+    # -- construction ----------------------------------------------------
+
+    def add_site(
+        self,
+        name: str,
+        lan_latency: float = 0.0005,
+        tail_latency: float = 0.02,
+        tail_bandwidth: float = 0.0,
+        tail_queue: int = 0,
+        tail_loss_up: LossModel | None = None,
+        tail_loss_down: LossModel | None = None,
+        lan_loss: LossModel | None = None,
+    ) -> Site:
+        """Create a site hanging off the backbone via its tail circuit."""
+        if name in self._sites:
+            raise ValueError(f"site {name!r} already exists")
+        site = Site(
+            name=name,
+            lan=Link(f"{name}.lan", latency=lan_latency, loss=lan_loss),
+            tail_up=Link(
+                f"{name}.tail.up",
+                latency=tail_latency,
+                bandwidth=tail_bandwidth,
+                queue_limit=tail_queue,
+                loss=tail_loss_up,
+            ),
+            tail_down=Link(
+                f"{name}.tail.down",
+                latency=tail_latency,
+                bandwidth=tail_bandwidth,
+                queue_limit=tail_queue,
+                loss=tail_loss_down,
+            ),
+        )
+        self._sites[name] = site
+        return site
+
+    def add_host(self, name: str, site: Site, inbound_loss: LossModel | None = None) -> Host:
+        """Create a host on ``site``'s LAN."""
+        if name in self._hosts:
+            raise ValueError(f"host {name!r} already exists")
+        host = Host(name=name, site=site, inbound_loss=inbound_loss)
+        site.hosts.append(host)
+        self._hosts[name] = host
+        return host
+
+    # -- lookup ----------------------------------------------------------
+
+    def host(self, name: str) -> Host:
+        return self._hosts[name]
+
+    def site(self, name: str) -> Site:
+        return self._sites[name]
+
+    @property
+    def sites(self) -> list[Site]:
+        return list(self._sites.values())
+
+    @property
+    def hosts(self) -> list[Host]:
+        return list(self._hosts.values())
+
+    # -- group membership ----------------------------------------------------
+
+    def join(self, group: str, host_name: str) -> None:
+        self._groups.setdefault(group, set()).add(host_name)
+
+    def leave(self, group: str, host_name: str) -> None:
+        members = self._groups.get(group)
+        if members is not None:
+            members.discard(host_name)
+
+    def members(self, group: str) -> frozenset[str]:
+        return frozenset(self._groups.get(group, frozenset()))
+
+    # -- routing ----------------------------------------------------------
+
+    def path(self, src: Host, dst: Host) -> tuple[list[Link], int]:
+        """The ordered link list and hop count from ``src`` to ``dst``."""
+        if src.site is dst.site:
+            return [src.site.lan], SAME_SITE_HOPS
+        return (
+            [src.site.lan, src.site.tail_up, self.backbone, dst.site.tail_down, dst.site.lan],
+            CROSS_SITE_HOPS,
+        )
+
+    def send_unicast(self, src_name: str, dst_name: str, packet: Packet) -> None:
+        """Inject a point-to-point packet at the current sim time."""
+        src = self._hosts[src_name]
+        dst = self._hosts.get(dst_name)
+        self.stats["unicast_sent"] += 1
+        if dst is None:
+            self.stats["dropped"] += 1  # destination does not exist (failed host)
+            return
+        now = self.sim.now
+        links, _ = self.path(src, dst)
+        at = now
+        size = wire_size(packet)
+        for link in links:
+            exit_time = link.transit(size, at)
+            if exit_time is None:
+                self._drop(packet, src_name, dst_name, now)
+                return
+            at = exit_time
+        self._deliver(dst, packet, src_name, at)
+
+    def send_multicast(self, src_name: str, group: str, packet: Packet, ttl: int | None = None) -> None:
+        """Inject a multicast: one copy per tree link, shared fate."""
+        src = self._hosts[src_name]
+        self.stats["multicast_sent"] += 1
+        now = self.sim.now
+        size = wire_size(packet)
+        # Per-transmission cache of each link's outcome so the loss model
+        # and the bandwidth are charged exactly once per tree edge.
+        outcomes: dict[int, float | None] = {}
+
+        def cross(link: Link, at: float) -> float | None:
+            key = id(link)
+            if key not in outcomes:
+                outcomes[key] = link.transit(size, at)
+            return outcomes[key]
+
+        # Sorted iteration keeps RNG consumption order (and therefore the
+        # whole simulation) independent of set-hash randomization.
+        for member_name in sorted(self._groups.get(group, ())):
+            if member_name == src_name:
+                continue
+            dst = self._hosts.get(member_name)
+            if dst is None:
+                continue
+            links, hops = self.path(src, dst)
+            if ttl is not None and hops > ttl:
+                continue  # scoped out, not an error
+            at: float | None = now
+            for link in links:
+                at = cross(link, at)  # type: ignore[arg-type]
+                if at is None:
+                    break
+            if at is None:
+                self._drop(packet, src_name, member_name, now)
+            else:
+                self._deliver(dst, packet, src_name, at)
+
+    # -- delivery ----------------------------------------------------------
+
+    def _deliver(self, dst: Host, packet: Packet, src_name: str, at: float) -> None:
+        if dst.inbound_loss is not None and dst.inbound_loss.drops(at):
+            self._drop(packet, src_name, dst.name, at)
+            return
+        self.sim.schedule(at, self._arrive, dst, packet, src_name)
+
+    def _arrive(self, dst: Host, packet: Packet, src_name: str) -> None:
+        dst.rx_packets += 1
+        self.stats["delivered"] += 1
+        if self.observer is not None:
+            self.observer("rx", packet, src_name, dst.name, self.sim.now)
+        if dst.endpoint is not None:
+            dst.endpoint.receive(packet, src_name, self.sim.now)
+
+    def _drop(self, packet: Packet, src_name: str, dst_name: str, now: float) -> None:
+        self.stats["dropped"] += 1
+        host = self._hosts.get(dst_name)
+        if host is not None:
+            host.rx_dropped += 1
+        if self.observer is not None:
+            self.observer("drop", packet, src_name, dst_name, now)

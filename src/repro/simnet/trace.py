@@ -1,0 +1,92 @@
+"""Protocol-level packet tracing for experiments.
+
+:class:`PacketTrace` installs itself as the network observer and keeps
+per-packet-type delivery/drop counts, split into intra-site and
+cross-site traffic.  Cross-site counts are the paper's currency: Figure
+7's claim is that distributed logging cuts the NACKs *crossing the tail
+circuits and WAN* from one per receiver to one per site.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+from repro.core.packets import Packet, PacketType
+from repro.simnet.topology import Network
+
+__all__ = ["TraceRecord", "PacketTrace"]
+
+
+@dataclass(frozen=True, slots=True)
+class TraceRecord:
+    """One traced packet movement (kept only when ``keep_records``)."""
+
+    time: float
+    kind: str  # "rx" or "drop"
+    ptype: int
+    seq: int
+    src: str
+    dst: str
+    cross_site: bool
+
+
+class PacketTrace:
+    """Counting observer for a simulated network."""
+
+    def __init__(self, network: Network, keep_records: bool = False) -> None:
+        self._network = network
+        self._keep = keep_records
+        self.records: list[TraceRecord] = []
+        # (kind, ptype, cross_site) -> count
+        self.counts: Counter = Counter()
+        network.observer = self.observe
+
+    def observe(self, kind: str, packet: Packet, src: str, dst: str, now: float) -> None:
+        cross = self._cross_site(src, dst)
+        self.counts[(kind, int(packet.TYPE), cross)] += 1
+        if self._keep:
+            seq = getattr(packet, "seq", getattr(packet, "cum_seq", 0))
+            self.records.append(
+                TraceRecord(
+                    time=now,
+                    kind=kind,
+                    ptype=int(packet.TYPE),
+                    seq=seq,
+                    src=src,
+                    dst=dst,
+                    cross_site=cross,
+                )
+            )
+
+    def _cross_site(self, src: str, dst: str) -> bool:
+        try:
+            return self._network.host(src).site is not self._network.host(dst).site
+        except KeyError:
+            return False
+
+    # -- queries ----------------------------------------------------------
+
+    def delivered(self, ptype: PacketType, cross_site: bool | None = None) -> int:
+        """Packets of ``ptype`` delivered (optionally filtered by scope)."""
+        return self._count("rx", ptype, cross_site)
+
+    def dropped(self, ptype: PacketType, cross_site: bool | None = None) -> int:
+        return self._count("drop", ptype, cross_site)
+
+    def attempted(self, ptype: PacketType, cross_site: bool | None = None) -> int:
+        """Delivered + dropped — i.e. traffic that entered the network."""
+        return self.delivered(ptype, cross_site) + self.dropped(ptype, cross_site)
+
+    def cross_site_nacks(self) -> int:
+        """NACKs that left their site — the Figure 7 metric."""
+        return self.attempted(PacketType.NACK, cross_site=True)
+
+    def reset(self) -> None:
+        self.records.clear()
+        self.counts.clear()
+
+    def _count(self, kind: str, ptype: PacketType, cross_site: bool | None) -> int:
+        if cross_site is None:
+            return self.counts[(kind, int(ptype), True)] + self.counts[(kind, int(ptype), False)]
+        return self.counts[(kind, int(ptype), cross_site)]

@@ -1,0 +1,50 @@
+"""GroupDirectory tests: determinism, ranges, overrides."""
+
+from __future__ import annotations
+
+import ipaddress
+
+import pytest
+
+from repro.aio.groupmap import GroupDirectory
+
+
+def test_resolution_is_deterministic():
+    a = GroupDirectory().resolve("dis/terrain/1")
+    b = GroupDirectory().resolve("dis/terrain/1")
+    assert a == b
+
+
+def test_address_in_admin_scoped_block():
+    directory = GroupDirectory()
+    for group in ("a", "b", "dis/terrain/42", "quotes/ACME"):
+        addr, port = directory.resolve(group)
+        assert ipaddress.ip_address(addr) in ipaddress.ip_network("239.192.0.0/14")
+        assert 30000 <= port < 50000
+
+
+def test_distinct_groups_usually_distinct_addresses():
+    directory = GroupDirectory()
+    resolved = {directory.resolve(f"group/{i}") for i in range(100)}
+    assert len(resolved) == 100  # SHA-256 over a /14: collisions ~never
+
+
+def test_override():
+    directory = GroupDirectory()
+    directory.register("special", "239.255.0.1", 45000)
+    assert directory.resolve("special") == ("239.255.0.1", 45000)
+
+
+def test_override_validates_multicast():
+    directory = GroupDirectory()
+    with pytest.raises(ValueError):
+        directory.register("bad", "10.0.0.1", 45000)
+
+
+def test_constructor_validation():
+    with pytest.raises(ValueError):
+        GroupDirectory(base_network="10.0.0.0/8")
+    with pytest.raises(ValueError):
+        GroupDirectory(port_base=60000, port_count=20000)
+    with pytest.raises(ValueError):
+        GroupDirectory(port_base=0)

@@ -1,0 +1,73 @@
+"""Socket-helper unit tests (option flags, binding, TTL)."""
+
+from __future__ import annotations
+
+import socket
+
+import pytest
+
+from repro.aio.udp import (
+    make_multicast_recv_socket,
+    make_multicast_send_socket,
+    make_unicast_socket,
+    set_multicast_ttl,
+)
+
+
+def test_unicast_socket_bound_and_nonblocking():
+    sock = make_unicast_socket()
+    try:
+        host, port = sock.getsockname()
+        assert host == "127.0.0.1"
+        assert port > 0
+        assert sock.getblocking() is False
+    finally:
+        sock.close()
+
+
+def test_unicast_socket_explicit_port():
+    probe = make_unicast_socket()
+    free_port = probe.getsockname()[1]
+    probe.close()
+    sock = make_unicast_socket(port=free_port)
+    try:
+        assert sock.getsockname()[1] == free_port
+    finally:
+        sock.close()
+
+
+def test_multicast_recv_socket_joined():
+    sock = make_multicast_recv_socket("239.255.45.1", 44100)
+    try:
+        assert sock.getsockname()[1] == 44100
+        assert sock.getblocking() is False
+    finally:
+        sock.close()
+
+
+def test_two_receivers_share_group_port():
+    """SO_REUSEPORT lets co-located receivers share the group port."""
+    a = make_multicast_recv_socket("239.255.45.2", 44101)
+    b = make_multicast_recv_socket("239.255.45.2", 44101)
+    a.close()
+    b.close()
+
+
+def test_send_socket_options():
+    sock = make_multicast_send_socket(ttl=7)
+    try:
+        assert sock.getsockopt(socket.IPPROTO_IP, socket.IP_MULTICAST_TTL) == 7
+        assert sock.getsockopt(socket.IPPROTO_IP, socket.IP_MULTICAST_LOOP) == 1
+    finally:
+        sock.close()
+
+
+def test_set_ttl_adjusts_and_floors_at_one():
+    sock = make_multicast_send_socket()
+    try:
+        set_multicast_ttl(sock, 3)
+        assert sock.getsockopt(socket.IPPROTO_IP, socket.IP_MULTICAST_TTL) == 3
+        set_multicast_ttl(sock, 0)  # floor: TTL 0 would never leave the host
+        assert sock.getsockopt(socket.IPPROTO_IP, socket.IP_MULTICAST_TTL) == 1
+    finally:
+        sock.close()

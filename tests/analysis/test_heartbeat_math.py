@@ -1,0 +1,115 @@
+"""Closed-form analysis tests against the paper's published numbers."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.analysis.estimation_math import (
+    loss_detection_bound,
+    table2_rows,
+    worst_case_detection_time,
+)
+from repro.analysis.heartbeat_math import (
+    fixed_heartbeat_count,
+    fixed_rate,
+    overhead_ratio,
+    table1_rows,
+    variable_heartbeat_count,
+    variable_rate,
+)
+from repro.core.config import HeartbeatConfig
+
+
+class TestFigure4:
+    def test_fixed_rate_asymptote(self):
+        """Fixed rate approaches 1/h_min as dt grows."""
+        assert fixed_rate(1000.0, 0.25) == pytest.approx(4.0, rel=0.01)
+
+    def test_variable_rate_asymptote(self):
+        """Variable rate approaches 1/h_max as dt grows."""
+        cfg = HeartbeatConfig()
+        assert variable_rate(100_000.0, cfg) == pytest.approx(1 / 32, rel=0.02)
+
+    def test_no_heartbeats_below_h_min(self):
+        """"If dt < h_min, no heartbeats are transmitted under either
+        scheme" (at h_min=0.25 a 0.2s stream preempts everything)."""
+        cfg = HeartbeatConfig()
+        assert variable_heartbeat_count(0.2, cfg) == 0
+        assert fixed_heartbeat_count(0.2, 0.25) == 0
+
+
+class TestFigure5AndTable1:
+    def test_marked_point_53x(self):
+        """dt=120s, backoff 2: the paper's 53.3/53.4 reduction factor."""
+        assert overhead_ratio(120.0) == pytest.approx(53.3, rel=0.01)
+
+    def test_table1_monotone_up_to_cap(self):
+        rows = table1_rows()
+        ratios = [r for _, r in rows]
+        assert all(b <= a + 1e-9 for a, b in zip(ratios[1:], ratios))  # non-decreasing
+        assert ratios[0] < ratios[-1]
+
+    def test_table1_backoff2_row(self):
+        rows = dict(table1_rows())
+        assert rows[2.0] == pytest.approx(53.3, rel=0.01)
+
+    def test_savings_grow_with_dt(self):
+        cfg = HeartbeatConfig()
+        assert overhead_ratio(10.0, cfg) < overhead_ratio(120.0, cfg) < overhead_ratio(1000.0, cfg)
+
+
+class TestValidation:
+    def test_bad_inputs(self):
+        with pytest.raises(ValueError):
+            fixed_heartbeat_count(0.0, 0.25)
+        with pytest.raises(ValueError):
+            fixed_heartbeat_count(1.0, 0.0)
+        with pytest.raises(ValueError):
+            variable_heartbeat_count(-1.0)
+
+
+class TestLossDetection:
+    def test_isolated_loss_within_h_min(self):
+        cfg = HeartbeatConfig()
+        assert loss_detection_bound(0.1, cfg) == pytest.approx(0.25)
+
+    def test_burst_bound_2x(self):
+        cfg = HeartbeatConfig()
+        assert loss_detection_bound(3.0, cfg) == pytest.approx(6.0)
+
+    def test_burst_bound_post_burst_tail_capped_at_h_max(self):
+        """For t_burst > h_max the post-burst wait caps at h_max."""
+        cfg = HeartbeatConfig()
+        assert loss_detection_bound(100.0, cfg) == pytest.approx(132.0)
+
+    def test_backoff_multiple_k(self):
+        cfg = HeartbeatConfig(backoff=3.0)
+        assert loss_detection_bound(2.0, cfg) == pytest.approx(6.0)
+
+    def test_exact_worst_case_below_bound_plus_tail(self):
+        cfg = HeartbeatConfig()
+        for t_burst in (0.1, 0.5, 1.0, 3.0, 10.0, 31.0):
+            exact = worst_case_detection_time(t_burst, cfg)
+            bound = loss_detection_bound(t_burst, cfg)
+            assert exact <= bound + cfg.h_max
+
+    def test_exact_worst_case_reveals_after_burst(self):
+        cfg = HeartbeatConfig()
+        assert worst_case_detection_time(1.0, cfg) == pytest.approx(1.75)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            loss_detection_bound(-1.0)
+        with pytest.raises(ValueError):
+            worst_case_detection_time(-1.0)
+
+
+class TestTable2:
+    def test_rows(self):
+        rows = table2_rows()
+        expected = [(1, 1.0), (2, 0.707), (3, 0.577), (4, 0.5), (5, 0.447)]
+        for (n, f), (en, ef) in zip(rows, expected):
+            assert n == en
+            assert f == pytest.approx(ef, abs=0.001)

@@ -1,0 +1,106 @@
+"""Cache invalidation app tests (incl. the lease comparison)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.cache import (
+    CacheClient,
+    InvalidationKind,
+    InvalidationMessage,
+    InvalidationServer,
+    LeaseClient,
+)
+from repro.core.actions import Deliver
+from repro.core.events import FreshnessLost, FreshnessRestored
+
+
+def deliver(payload: bytes, seq=1, recovered=False) -> Deliver:
+    return Deliver(seq=seq, payload=payload, recovered=recovered)
+
+
+class TestMessage:
+    def test_roundtrip(self):
+        msg = InvalidationMessage(InvalidationKind.REFRESH, "file/a.txt", b"contents", 7)
+        assert InvalidationMessage.decode(msg.encode()) == msg
+
+    def test_empty_value(self):
+        msg = InvalidationMessage(InvalidationKind.INVALIDATE, "k", version=1)
+        assert InvalidationMessage.decode(msg.encode()).value == b""
+
+
+class TestServer:
+    def test_versions_increase_per_key(self):
+        server = InvalidationServer()
+        server.invalidate("a")
+        server.invalidate("a")
+        server.refresh("b", b"v")
+        assert server.version("a") == 2
+        assert server.version("b") == 1
+
+
+class TestClient:
+    def test_invalidate_drops_key(self):
+        server, client = InvalidationServer(), CacheClient()
+        client.put("a", b"old")
+        client.on_deliver(deliver(server.invalidate("a")))
+        assert client.get("a") is None
+        assert client.stats["invalidated_keys"] == 1
+
+    def test_refresh_replaces_value(self):
+        server, client = InvalidationServer(), CacheClient()
+        client.put("a", b"old")
+        client.on_deliver(deliver(server.refresh("a", b"new")))
+        assert client.get("a") == b"new"
+
+    def test_stale_recovered_invalidation_ignored(self):
+        server, client = InvalidationServer(), CacheClient()
+        old = server.refresh("a", b"v1")
+        new = server.refresh("a", b"v2")
+        client.on_deliver(deliver(new, seq=2))
+        client.on_deliver(deliver(old, seq=1, recovered=True))
+        assert client.get("a") == b"v2"
+        assert client.stats["stale_dropped"] == 1
+
+    def test_freshness_lost_invalidates_everything(self):
+        """§4.2: channel failure == lease timeout for the whole cache."""
+        client = CacheClient()
+        client.put("a", b"1")
+        client.put("b", b"2")
+        client.on_event(FreshnessLost(idle_for=0.5))
+        assert not client.connected
+        assert client.get("a") is None and client.get("b") is None
+        assert client.stats["full_invalidations"] == 1
+
+    def test_freshness_restored_reconnects(self):
+        client = CacheClient()
+        client.on_event(FreshnessLost(idle_for=0.5))
+        client.on_event(FreshnessRestored(silent_for=1.0))
+        assert client.connected
+        client.put("a", b"1")
+        assert client.get("a") == b"1"
+
+
+class TestLease:
+    def test_valid_until_expiry(self):
+        lease = LeaseClient(lease_term=10.0)
+        lease.put("a", b"v", now=0.0)
+        assert lease.get("a", now=5.0) == b"v"
+        assert lease.get("a", now=10.0) is None
+        assert lease.stats["expired_reads"] == 1
+
+    def test_renewal_extends(self):
+        lease = LeaseClient(lease_term=10.0)
+        lease.put("a", b"v", now=0.0)
+        lease.renew("a", now=8.0)
+        assert lease.get("a", now=15.0) == b"v"
+        assert lease.stats["renewals"] == 1
+
+    def test_renewal_traffic_scales_with_keys(self):
+        """The bookkeeping LBRM eliminates: renewals ∝ keys × time."""
+        lease = LeaseClient(lease_term=10.0)
+        assert lease.renewals_required(n_keys=100, duration=60.0) == pytest.approx(600.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LeaseClient(lease_term=0.0)

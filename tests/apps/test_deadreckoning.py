@@ -1,0 +1,113 @@
+"""Dead reckoning tests: emission policy and bounded display error."""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+
+from repro.apps.dis.deadreckoning import (
+    DeadReckoningMirror,
+    DeadReckoningSource,
+    KinematicState,
+)
+
+
+def test_state_roundtrip():
+    state = KinematicState(entity_id=9, x=1.0, y=-2.0, vx=3.5, vy=0.25,
+                           timestamp=12.0, update_id=4)
+    assert KinematicState.decode(state.encode()) == state
+
+
+def test_extrapolation():
+    state = KinematicState(entity_id=1, x=0.0, y=0.0, vx=2.0, vy=-1.0, timestamp=10.0)
+    assert state.extrapolate(12.0) == (4.0, -2.0)
+
+
+class TestSource:
+    def test_first_move_always_emits(self):
+        src = DeadReckoningSource(1)
+        assert src.move(0.0, 0.0, 1.0, 0.0, now=0.0) is not None
+
+    def test_straight_line_stays_silent(self):
+        """Constant-velocity motion matches the extrapolation: no updates."""
+        src = DeadReckoningSource(1, threshold=1.0, max_silence=100.0)
+        src.move(0.0, 0.0, 2.0, 0.0, now=0.0)
+        emitted = 0
+        for t in range(1, 50):
+            if src.move(2.0 * t, 0.0, 2.0, 0.0, now=float(t)) is not None:
+                emitted += 1
+        assert emitted == 0
+
+    def test_turn_triggers_update(self):
+        src = DeadReckoningSource(1, threshold=1.0)
+        src.move(0.0, 0.0, 2.0, 0.0, now=0.0)
+        # sharp 90-degree turn: true position diverges from extrapolation
+        update = src.move(0.0, 4.0, 0.0, 2.0, now=2.0)
+        assert update is not None
+        assert update.update_id == 2
+
+    def test_max_silence_floor(self):
+        src = DeadReckoningSource(1, threshold=10.0, max_silence=5.0)
+        src.move(0.0, 0.0, 1.0, 0.0, now=0.0)
+        assert src.move(5.0, 0.0, 1.0, 0.0, now=5.0) is not None  # periodic floor
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DeadReckoningSource(1, threshold=0.0)
+        with pytest.raises(ValueError):
+            DeadReckoningSource(1, max_silence=0.0)
+
+    def test_traffic_reduction_on_smooth_path(self):
+        """§1's point: dead reckoning slashes dynamic-entity traffic."""
+        rng = random.Random(5)
+        src = DeadReckoningSource(1, threshold=2.0, max_silence=1000.0)
+        x = y = 0.0
+        heading = 0.0
+        emitted = 0
+        dt = 0.1
+        for step in range(1000):
+            heading += rng.gauss(0.0, 0.02)  # gentle wander
+            vx, vy = 10.0 * math.cos(heading), 10.0 * math.sin(heading)
+            x += vx * dt
+            y += vy * dt
+            if src.move(x, y, vx, vy, now=step * dt) is not None:
+                emitted += 1
+        # 1000 ticks -> a small fraction become updates
+        assert emitted < 200
+
+
+class TestMirror:
+    def test_display_error_bounded_by_threshold(self):
+        """Receiver's displayed position stays within the source threshold
+        (zero network delay here)."""
+        rng = random.Random(7)
+        threshold = 2.0
+        src = DeadReckoningSource(1, threshold=threshold, max_silence=1000.0)
+        mirror = DeadReckoningMirror()
+        x = y = heading = 0.0
+        dt = 0.1
+        for step in range(2000):
+            heading += rng.gauss(0.0, 0.05)
+            vx, vy = 8.0 * math.cos(heading), 8.0 * math.sin(heading)
+            x += vx * dt
+            y += vy * dt
+            now = step * dt
+            update = src.move(x, y, vx, vy, now=now)
+            if update is not None:
+                mirror.apply(update.encode())
+            mx, my = mirror.position(1, now)
+            assert math.hypot(x - mx, y - my) <= threshold + 1e-6
+
+    def test_stale_update_dropped(self):
+        mirror = DeadReckoningMirror()
+        new = KinematicState(1, 5.0, 5.0, 0.0, 0.0, timestamp=2.0, update_id=3)
+        old = KinematicState(1, 0.0, 0.0, 1.0, 0.0, timestamp=1.0, update_id=2)
+        mirror.apply(new.encode())
+        assert mirror.apply(old.encode()) is None
+        assert mirror.position(1, 2.0) == (5.0, 5.0)
+        assert mirror.stats["stale_dropped"] == 1
+
+    def test_unknown_entity(self):
+        assert DeadReckoningMirror().position(42, 0.0) is None

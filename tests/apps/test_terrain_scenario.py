@@ -1,0 +1,106 @@
+"""DIS terrain entity and scenario tests."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.apps.dis import (
+    DisScenario,
+    TerrainDatabase,
+    TerrainEntity,
+    TerrainKind,
+    TerrainState,
+    scenario_packet_rates,
+)
+
+
+class TestTerrainState:
+    def test_encode_decode_roundtrip(self):
+        state = TerrainState(entity_id=17, kind=TerrainKind.BRIDGE, condition=128,
+                             version=3, x=1.5, y=-2.5, heading=0.75)
+        assert TerrainState.decode(state.encode()) == state
+
+    def test_entity_versions_increase(self):
+        bridge = TerrainEntity(1, TerrainKind.BRIDGE, 0.0, 0.0)
+        v1 = bridge.state.version
+        bridge.damage(40)
+        bridge.destroy()
+        assert bridge.state.version == v1 + 2
+        assert bridge.state.condition == 0
+
+    def test_damage_floors_at_zero(self):
+        e = TerrainEntity(1, TerrainKind.TREE, 0.0, 0.0)
+        e.damage(300)
+        assert e.state.condition == 0
+
+    def test_repair_restores(self):
+        e = TerrainEntity(1, TerrainKind.BRIDGE, 0.0, 0.0)
+        e.destroy()
+        e.repair()
+        assert e.state.condition == 255
+
+
+class TestTerrainDatabase:
+    def test_apply_and_get(self):
+        db = TerrainDatabase()
+        e = TerrainEntity(5, TerrainKind.BRIDGE, 1.0, 2.0)
+        state = e.destroy()
+        assert db.apply(state.encode()) == state
+        assert db.get(5).condition == 0
+        assert db.destroyed() == [5]
+
+    def test_stale_recovery_dropped(self):
+        """A recovered update superseded in flight must not regress state."""
+        db = TerrainDatabase()
+        e = TerrainEntity(5, TerrainKind.BRIDGE, 1.0, 2.0)
+        old = e.damage(10)
+        new = e.destroy()
+        db.apply(new.encode())
+        assert db.apply(old.encode()) is None  # late recovery
+        assert db.get(5).condition == 0
+        assert db.stats["stale_dropped"] == 1
+
+    def test_len(self):
+        db = TerrainDatabase()
+        for i in (1, 2, 3):
+            db.apply(TerrainEntity(i, TerrainKind.ROCK, 0, 0).damage(1).encode())
+        assert len(db) == 3
+
+
+class TestScenarioRates:
+    def test_paper_numbers(self):
+        """§2.1.2: 500k pkt/s total, heartbeats 4/5 of traffic, ~50x cut."""
+        rates = scenario_packet_rates()
+        assert rates.dynamic_data == 100_000
+        assert rates.terrain_heartbeats_fixed == pytest.approx(400_000, rel=0.01)
+        assert rates.total_fixed == pytest.approx(500_000, rel=0.01)
+        assert rates.heartbeat_fraction_fixed == pytest.approx(0.8, abs=0.01)
+        assert rates.heartbeat_reduction == pytest.approx(53.3, rel=0.02)
+
+    def test_variable_total_far_smaller(self):
+        rates = scenario_packet_rates()
+        assert rates.total_variable < 0.25 * rates.total_fixed
+
+
+class TestDisScenario:
+    def test_population_and_kinds(self):
+        scenario = DisScenario(n_terrain=500, rng=random.Random(1))
+        assert len(scenario.entities) == 500
+        kinds = {e.state.kind for e in scenario.entities.values()}
+        assert TerrainKind.BRIDGE in kinds
+        assert scenario.bridges()
+
+    def test_updates_sorted_and_bounded(self):
+        scenario = DisScenario(n_terrain=50, terrain_interval=10.0, rng=random.Random(2))
+        updates = scenario.draw_updates(duration=100.0)
+        times = [u.time for u in updates]
+        assert times == sorted(times)
+        assert all(0 <= t < 100.0 for t in times)
+        # ~50 entities * 10 updates avg = ~500 updates
+        assert 300 < len(updates) < 700
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DisScenario(n_terrain=0)

@@ -1,0 +1,102 @@
+"""Stock ticker and factory-automation app tests."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.apps.factory import AuditLog, MobileMonitor, SensorReading
+from repro.apps.ticker import Quote, QuoteBoard, QuoteFeed
+from repro.core.log_store import PacketLog
+
+
+class TestQuotes:
+    def test_roundtrip(self):
+        q = Quote(symbol="ACME", quote_id=9, price_cents=10450, size=300)
+        assert Quote.decode(q.encode()) == q
+
+    def test_symbol_too_long(self):
+        with pytest.raises(ValueError):
+            Quote(symbol="TOOLONGSYM", quote_id=1, price_cents=1, size=1).encode()
+
+    def test_feed_monotone_ids(self):
+        feed = QuoteFeed(rng=random.Random(0))
+        a = feed.tick("ACME")
+        b = feed.tick("ACME")
+        assert b.quote_id == a.quote_id + 1
+
+    def test_feed_prices_positive(self):
+        feed = QuoteFeed(volatility=0.5, rng=random.Random(0))
+        for _ in range(200):
+            assert feed.tick_random().price_cents >= 1
+
+    def test_board_applies_latest(self):
+        feed = QuoteFeed(rng=random.Random(0))
+        board = QuoteBoard()
+        q1 = feed.tick("ACME")
+        q2 = feed.tick("ACME")
+        board.apply(q2.encode())
+        assert board.apply(q1.encode()) is None  # late recovery superseded
+        assert board.last("ACME") == q2
+        assert board.stats["stale_dropped"] == 1
+
+    def test_feed_validation(self):
+        with pytest.raises(ValueError):
+            QuoteFeed(symbols=())
+        with pytest.raises(ValueError):
+            QuoteFeed(volatility=-1.0)
+
+
+class TestFactory:
+    def test_reading_roundtrip(self):
+        r = SensorReading(sensor_id=3, metric="temp", value=21.5, sample=17)
+        assert SensorReading.decode(r.encode()) == r
+
+    def test_metric_too_long(self):
+        with pytest.raises(ValueError):
+            SensorReading(1, "temperature", 1.0, 1).encode()
+
+    def test_audit_replay_in_order(self):
+        """Record-keeping from the reliability log (§4.4)."""
+        log = PacketLog()
+        for sample in range(1, 6):
+            reading = SensorReading(sensor_id=1, metric="rpm", value=100.0 + sample, sample=sample)
+            log.append(sample, reading.encode(), now=float(sample))
+        audit = AuditLog(log)
+        replayed = audit.replay()
+        assert [r.sample for r in replayed] == [1, 2, 3, 4, 5]
+
+    def test_audit_skips_missing(self):
+        log = PacketLog()
+        log.append(1, SensorReading(1, "rpm", 1.0, 1).encode(), 0.0)
+        log.append(3, SensorReading(1, "rpm", 3.0, 3).encode(), 0.0)
+        assert [r.sample for r in AuditLog(log).replay()] == [1, 3]
+
+    def test_audit_history_filters_sensor(self):
+        log = PacketLog()
+        log.append(1, SensorReading(1, "rpm", 1.0, 1).encode(), 0.0)
+        log.append(2, SensorReading(2, "temp", 2.0, 1).encode(), 0.0)
+        history = AuditLog(log).history(sensor_id=2)
+        assert len(history) == 1 and history[0].metric == "temp"
+
+    def test_mobile_monitor_recovery_accounting(self):
+        monitor = MobileMonitor()
+        monitor.on_deliver(SensorReading(1, "rpm", 1.0, 1).encode(), recovered=False)
+        monitor.disconnect()
+        monitor.reconnect()
+        monitor.on_deliver(SensorReading(1, "rpm", 2.0, 2).encode(), recovered=True)
+        assert monitor.stats == {"live_samples": 1, "recovered_samples": 1, "disconnects": 1}
+        assert monitor.latest(1).sample == 2
+
+    def test_mobile_monitor_stale_recovery_dropped(self):
+        monitor = MobileMonitor()
+        monitor.on_deliver(SensorReading(1, "rpm", 5.0, 5).encode(), recovered=False)
+        assert monitor.on_deliver(SensorReading(1, "rpm", 2.0, 2).encode(), recovered=True) is None
+        assert monitor.latest(1).sample == 5
+
+    def test_double_disconnect_counts_once(self):
+        monitor = MobileMonitor()
+        monitor.disconnect()
+        monitor.disconnect()
+        assert monitor.stats["disconnects"] == 1

@@ -1,0 +1,131 @@
+"""Appendix A protocol tests — exact message strings from the paper."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.webinval import (
+    BrowserClient,
+    HttpInvalidationServer,
+    WebMessage,
+    WebMessageKind,
+    make_multicast_comment,
+    parse_multicast_comment,
+)
+
+
+class TestCodec:
+    def test_paper_update_message(self):
+        text = "TRANS:17.0:UPDATE: http://www-DSG.Stanford.EDU/groupMembers.html"
+        msg = WebMessage.decode(text)
+        assert msg.kind is WebMessageKind.UPDATE
+        assert msg.seq == 17 and msg.hb_index == 0
+        assert msg.url == "http://www-DSG.Stanford.EDU/groupMembers.html"
+        assert not msg.retrans
+
+    def test_paper_heartbeat_message(self):
+        msg = WebMessage.decode("TRANS: 17.12: HEARTBEAT")
+        assert msg.kind is WebMessageKind.HEARTBEAT
+        assert msg.seq == 17 and msg.hb_index == 12
+
+    def test_retrans_tag(self):
+        msg = WebMessage.decode("RETRANS:17.0:UPDATE: http://x/y.html")
+        assert msg.retrans
+
+    def test_encode_decode_roundtrip(self):
+        for msg in (
+            WebMessage(WebMessageKind.UPDATE, 17, 0, "http://a/b.html"),
+            WebMessage(WebMessageKind.HEARTBEAT, 17, 12),
+            WebMessage(WebMessageKind.UPDATE, 3, 0, "http://a/b.html", retrans=True),
+        ):
+            assert WebMessage.decode(msg.encode()) == msg
+
+    def test_malformed_rejected(self):
+        for bad in ("", "HELLO", "TRANS:17:UPDATE: http://x", "TRANS:17.0:UPDATE:"):
+            with pytest.raises(ValueError):
+                WebMessage.decode(bad)
+
+
+class TestMulticastComment:
+    def test_paper_comment_parses(self):
+        assert parse_multicast_comment("<!MULTICAST.234.12.29.72.>\n<html>") == "234.12.29.72"
+
+    def test_comment_must_be_first_line(self):
+        assert parse_multicast_comment("<html>\n<!MULTICAST.234.12.29.72.>") is None
+
+    def test_no_comment(self):
+        assert parse_multicast_comment("<html><body>hi</body></html>") is None
+
+    def test_make_and_parse(self):
+        comment = make_multicast_comment("239.1.2.3")
+        assert parse_multicast_comment(comment) == "239.1.2.3"
+
+    def test_make_validates(self):
+        with pytest.raises(ValueError):
+            make_multicast_comment("not-an-address")
+
+
+class TestServerAndBrowser:
+    def test_full_invalidation_flow(self):
+        server = HttpInvalidationServer()
+        browser = BrowserClient()
+        url = "http://server/page.html"
+        html = server.publish(url, "<h1>v1</h1>")
+
+        address = browser.display(url, html)
+        assert address == server.group_address  # subscribed via comment
+        assert not browser.needs_reload(url)
+
+        update = server.modify(url, "<h1>v2</h1>")
+        assert browser.on_message(update)
+        assert browser.needs_reload(url)  # RELOAD highlighted
+
+        browser.reload(url, server.fetch(url))
+        assert not browser.needs_reload(url)
+        assert "v2" in browser.cached(url)
+
+    def test_update_for_uncached_page_ignored(self):
+        server = HttpInvalidationServer()
+        browser = BrowserClient()
+        server.publish("http://s/a.html", "x")
+        update = server.modify("http://s/a.html", "y")
+        assert not browser.on_message(update)
+
+    def test_heartbeat_does_not_invalidate(self):
+        server = HttpInvalidationServer()
+        browser = BrowserClient()
+        url = "http://s/a.html"
+        browser.display(url, server.publish(url, "x"))
+        assert not browser.on_message(server.heartbeat(3))
+        assert not browser.needs_reload(url)
+
+    def test_retransmission_list(self):
+        """"The logger's response packet contains a list of retransmissions."""
+        server = HttpInvalidationServer()
+        server.publish("http://s/a.html", "1")
+        server.modify("http://s/a.html", "2")  # seq 1
+        server.modify("http://s/a.html", "3")  # seq 2
+        replies = server.retransmit([1, 2, 99])
+        assert [r.seq for r in replies] == [1, 2]
+        assert all(r.retrans for r in replies)
+
+    def test_modify_unknown_url_raises(self):
+        with pytest.raises(KeyError):
+            HttpInvalidationServer().modify("http://nope", "x")
+
+    def test_subscription_single_per_address(self):
+        server = HttpInvalidationServer()
+        browser = BrowserClient()
+        a = browser.display("http://s/a.html", server.publish("http://s/a.html", "1"))
+        b = browser.display("http://s/b.html", server.publish("http://s/b.html", "2"))
+        assert a == server.group_address
+        assert b is None  # already subscribed
+        assert browser.subscriptions == frozenset({server.group_address})
+
+    def test_evict(self):
+        server = HttpInvalidationServer()
+        browser = BrowserClient()
+        url = "http://s/a.html"
+        browser.display(url, server.publish(url, "1"))
+        browser.evict(url)
+        assert browser.cached(url) is None

@@ -1,0 +1,41 @@
+"""Shared fixtures for the LBRM test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import LbrmConfig
+from repro.simnet import DeploymentSpec, LbrmDeployment, Network, RngStreams, Simulator
+
+
+@pytest.fixture
+def sim() -> Simulator:
+    return Simulator()
+
+
+@pytest.fixture
+def network(sim: Simulator) -> Network:
+    return Network(sim, streams=RngStreams(seed=1234))
+
+
+@pytest.fixture
+def small_deployment() -> LbrmDeployment:
+    """3 sites × 4 receivers with secondary loggers, started and settled."""
+    dep = LbrmDeployment(DeploymentSpec(n_sites=3, receivers_per_site=4, seed=99))
+    dep.start()
+    dep.advance(0.1)
+    return dep
+
+
+@pytest.fixture
+def paper_config() -> LbrmConfig:
+    return LbrmConfig.paper_defaults()
+
+
+def make_deployment(**overrides) -> LbrmDeployment:
+    """Test helper: build and start a deployment with spec overrides."""
+    spec = DeploymentSpec(**{"n_sites": 3, "receivers_per_site": 4, "seed": 99, **overrides})
+    dep = LbrmDeployment(spec)
+    dep.start()
+    dep.advance(0.1)
+    return dep

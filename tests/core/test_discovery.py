@@ -1,0 +1,105 @@
+"""Expanding-ring discovery client tests (§2.2.1)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.actions import Notify, SendMulticast
+from repro.core.config import DiscoveryConfig
+from repro.core.discovery import DiscoveryClient
+from repro.core.events import LoggerDiscovered
+from repro.core.packets import DiscoveryQueryPacket, DiscoveryReplyPacket
+
+
+def queries(actions):
+    return [a for a in actions if isinstance(a, SendMulticast) and isinstance(a.packet, DiscoveryQueryPacket)]
+
+
+def make_client(**kwargs) -> DiscoveryClient:
+    cfg = DiscoveryConfig(**{"initial_ttl": 1, "max_ttl": 8, "query_timeout": 0.2, **kwargs})
+    return DiscoveryClient("g", cfg)
+
+
+def test_first_query_uses_initial_ttl():
+    client = make_client()
+    actions = client.start(0.0)
+    sent = queries(actions)
+    assert sent[0].packet.ttl == 1
+    assert sent[0].ttl == 1  # transport scoping matches the packet
+
+
+def test_ring_expands_on_silence():
+    client = make_client()
+    client.start(0.0)
+    actions = client.poll(0.2)
+    assert queries(actions)[0].packet.ttl == 2
+    actions = client.poll(0.4)
+    assert queries(actions)[0].packet.ttl == 4
+
+
+def test_reply_ends_search_with_event():
+    client = make_client()
+    client.start(0.0)
+    client.handle(DiscoveryReplyPacket(group="g", logger_addr="site-logger", level=1), "site-logger", 0.1)
+    actions = client.poll(0.2)
+    found = [a.event for a in actions if isinstance(a, Notify) and isinstance(a.event, LoggerDiscovered)]
+    assert found and found[0].logger == "site-logger"
+    assert client.found == "site-logger"
+    assert client.found_level == 1
+    assert not client.searching
+
+
+def test_deeper_level_preferred_within_ring():
+    """A site secondary (level 1) beats the primary (level 0) in range."""
+    client = make_client()
+    client.start(0.0)
+    client.handle(DiscoveryReplyPacket(group="g", logger_addr="primary", level=0), "primary", 0.05)
+    client.handle(DiscoveryReplyPacket(group="g", logger_addr="sec", level=1), "sec", 0.1)
+    client.poll(0.2)
+    assert client.found == "sec"
+
+
+def test_exhaustion_at_max_ttl():
+    client = make_client(max_ttl=4)
+    client.start(0.0)
+    client.poll(client.next_wakeup())  # ttl 2
+    client.poll(client.next_wakeup())  # ttl 4
+    client.poll(client.next_wakeup())  # silence at max
+    assert client.exhausted
+    assert client.found is None
+    assert not client.searching
+
+
+def test_reply_after_search_over_is_ignored():
+    client = make_client()
+    client.start(0.0)
+    client.handle(DiscoveryReplyPacket(group="g", logger_addr="a", level=1), "a", 0.1)
+    client.poll(0.2)
+    client.handle(DiscoveryReplyPacket(group="g", logger_addr="b", level=2), "b", 0.3)
+    assert client.found == "a"
+
+
+def test_restart_clears_state():
+    client = make_client(max_ttl=2)
+    client.start(0.0)
+    client.poll(client.next_wakeup())
+    client.poll(client.next_wakeup())
+    assert client.exhausted
+    actions = client.start(1.0)
+    assert queries(actions)[0].packet.ttl == 1
+    assert client.searching and not client.exhausted
+
+
+def test_parse_token_applied():
+    client = DiscoveryClient("g", DiscoveryConfig(), parse_token=lambda t: ("host", int(t)))
+    client.start(0.0)
+    client.handle(DiscoveryReplyPacket(group="g", logger_addr="4242", level=1), "x", 0.1)
+    client.poll(1.0)
+    assert client.found == ("host", 4242)
+
+
+def test_query_counter():
+    client = make_client()
+    client.start(0.0)
+    client.poll(0.2)
+    assert client.stats["queries_sent"] == 2

@@ -1,0 +1,164 @@
+"""Estimator tests: EWMA, t_wait capping, Bolot probing, Table 2 math."""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+
+from repro.core.errors import ConfigError
+from repro.core.estimator import (
+    EwmaEstimator,
+    GroupSizeEstimator,
+    TWaitEstimator,
+    nsl_stddev,
+    nsl_stddev_after_probes,
+)
+
+
+class TestEwma:
+    def test_update_formula(self):
+        e = EwmaEstimator(alpha=0.125, initial=1.0)
+        assert e.update(9.0) == pytest.approx(0.875 * 1.0 + 0.125 * 9.0)
+
+    def test_converges_to_constant_input(self):
+        e = EwmaEstimator(alpha=0.25, initial=0.0)
+        for _ in range(100):
+            e.update(5.0)
+        assert e.estimate == pytest.approx(5.0, rel=1e-6)
+
+    def test_rejects_bad_alpha(self):
+        with pytest.raises(ConfigError):
+            EwmaEstimator(alpha=0.0, initial=1.0)
+        with pytest.raises(ConfigError):
+            EwmaEstimator(alpha=1.5, initial=1.0)
+
+    def test_reset(self):
+        e = EwmaEstimator(alpha=0.5, initial=1.0)
+        e.update(10.0)
+        e.reset(2.0)
+        assert e.estimate == 2.0
+        assert e.samples == 0
+
+
+class TestTWait:
+    def test_paper_formula(self):
+        t = TWaitEstimator(alpha=0.125, initial=0.1)
+        t.record_last_ack(0.18)
+        assert t.t_wait == pytest.approx(0.125 * 0.18 + 0.875 * 0.1)
+
+    def test_sample_capped_at_twice_t_wait(self):
+        """"up to time 2×t_wait" — a huge outlier contributes the cap."""
+        t = TWaitEstimator(alpha=0.5, initial=0.1)
+        t.record_last_ack(100.0)
+        assert t.t_wait == pytest.approx(0.5 * 0.2 + 0.5 * 0.1)
+
+    def test_rejects_negative_sample(self):
+        t = TWaitEstimator()
+        with pytest.raises(ValueError):
+            t.record_last_ack(-0.1)
+
+    def test_rejects_bad_initial(self):
+        with pytest.raises(ConfigError):
+            TWaitEstimator(initial=0.0)
+
+
+class TestGroupSize:
+    def _run_bootstrap(self, n: int, seed: int = 0, **kwargs) -> GroupSizeEstimator:
+        """Simulate probing against n loggers with independent coins."""
+        rng = random.Random(seed)
+        est = GroupSizeEstimator(**kwargs)
+        while not est.converged:
+            probe = est.next_round()
+            assert probe is not None
+            replies = sum(1 for _ in range(n) if rng.random() < probe.p_ack)
+            est.record_round(probe.probe_id, replies)
+        return est
+
+    def test_bootstrap_converges_near_truth(self):
+        est = self._run_bootstrap(500, seed=3)
+        assert est.converged
+        assert est.estimate == pytest.approx(500, rel=0.5)
+
+    def test_probe_probability_ramps_up(self):
+        est = GroupSizeEstimator(initial_p=0.01, ramp=4.0)
+        first = est.next_round()
+        est.record_round(first.probe_id, 0)
+        second = est.next_round()
+        assert second.p_ack == pytest.approx(0.04)
+        assert second.probe_id == first.probe_id + 1
+
+    def test_small_group_hits_p_equal_one(self):
+        """A 3-logger group: probing escalates to p=1 and counts exactly."""
+        est = self._run_bootstrap(3, confident_replies=10)
+        assert est.estimate == pytest.approx(3, abs=0.01)
+
+    def test_stale_probe_id_ignored(self):
+        est = GroupSizeEstimator()
+        probe = est.next_round()
+        est.record_round(probe.probe_id + 7, 100)  # bogus id
+        assert not est.converged
+        assert est.next_round().probe_id == probe.probe_id
+
+    def test_extra_probes_are_requested(self):
+        est = GroupSizeEstimator(initial_p=0.5, confident_replies=5, extra_probes=2)
+        p1 = est.next_round()
+        est.record_round(p1.probe_id, 50)  # confident immediately
+        assert not est.converged  # two repeats outstanding
+        p2 = est.next_round()
+        assert p2.p_ack == pytest.approx(0.5)  # same p, repeated
+        est.record_round(p2.probe_id, 60)
+        p3 = est.next_round()
+        est.record_round(p3.probe_id, 40)
+        assert est.converged
+        assert est.estimate == pytest.approx((100 + 120 + 80) / 3)
+
+    def test_refine_ewma(self):
+        est = GroupSizeEstimator(alpha=0.125)
+        est.seed(100.0)
+        est.refine(5, 0.1)  # sample 50
+        assert est.estimate == pytest.approx(0.875 * 100 + 0.125 * 50)
+
+    def test_refine_rejects_bad_p(self):
+        est = GroupSizeEstimator()
+        with pytest.raises(ValueError):
+            est.refine(5, 0.0)
+
+    def test_refine_floors_at_one(self):
+        est = GroupSizeEstimator(alpha=1.0)
+        est.seed(10.0)
+        est.refine(0, 1.0)
+        assert est.estimate == 1.0
+
+    def test_seed_skips_bootstrap(self):
+        est = GroupSizeEstimator()
+        est.seed(42.0)
+        assert est.converged
+        assert est.next_round() is None
+        assert est.estimate == 42.0
+
+
+class TestTable2Math:
+    def test_sigma1_formula(self):
+        assert nsl_stddev(500, 0.04) == pytest.approx(math.sqrt(500 * 0.96 / 0.04))
+
+    def test_probe_averaging_rows(self):
+        """Table 2: 1.0, 0.707, 0.577, 0.5, 0.447 of sigma_1."""
+        sigma1 = nsl_stddev(500, 0.04)
+        expected = [1.0, 0.707, 0.577, 0.5, 0.447]
+        for probes, factor in zip(range(1, 6), expected):
+            assert nsl_stddev_after_probes(500, 0.04, probes) == pytest.approx(
+                sigma1 * factor, rel=1e-3
+            )
+
+    def test_zero_variance_at_p_one(self):
+        assert nsl_stddev(500, 1.0) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            nsl_stddev(500, 0.0)
+        with pytest.raises(ValueError):
+            nsl_stddev(-1, 0.5)
+        with pytest.raises(ValueError):
+            nsl_stddev_after_probes(500, 0.5, 0)

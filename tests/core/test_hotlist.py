@@ -1,0 +1,87 @@
+"""Faulty-acker hotlist tests (§2.3.3's always-acking logger)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.hotlist import AckerHotlist
+
+
+def test_always_acker_gets_quarantined():
+    hot = AckerHotlist()
+    faulty = "faulty-logger"
+    flagged: list = []
+    for _ in range(12):
+        flagged += hot.record_epoch(p_ack=0.05, responders={faulty}, known={faulty})
+    assert faulty in hot.quarantined
+    assert flagged.count(faulty) == 1  # flagged exactly once
+
+
+def test_honest_logger_stays_clear():
+    """A logger volunteering at the offered probability is never flagged."""
+    rng = random.Random(7)
+    hot = AckerHotlist()
+    honest = "honest"
+    for _ in range(500):
+        responders = {honest} if rng.random() < 0.05 else set()
+        hot.record_epoch(p_ack=0.05, responders=responders, known={honest})
+    assert honest not in hot.quarantined
+
+
+def test_high_p_ack_volunteering_is_not_suspicious():
+    """Acking every epoch at p_ack = 1.0 is exactly correct behaviour."""
+    hot = AckerHotlist()
+    logger = "small-group-logger"
+    for _ in range(50):
+        hot.record_epoch(p_ack=1.0, responders={logger}, known={logger})
+    assert logger not in hot.quarantined
+
+
+def test_quarantine_needs_min_responses():
+    hot = AckerHotlist(min_responses=4)
+    eager = "eager"
+    for _ in range(3):
+        hot.record_epoch(p_ack=0.01, responders={eager}, known={eager})
+    assert eager not in hot.quarantined  # only 3 responses so far
+
+
+def test_forgive_releases_and_resets():
+    hot = AckerHotlist()
+    faulty = "f"
+    for _ in range(12):
+        hot.record_epoch(p_ack=0.05, responders={faulty}, known={faulty})
+    assert hot.is_quarantined(faulty)
+    hot.forgive(faulty)
+    assert not hot.is_quarantined(faulty)
+    # One more volunteer event must not instantly re-flag (history cleared).
+    hot.record_epoch(p_ack=0.05, responders={faulty}, known={faulty})
+    assert not hot.is_quarantined(faulty)
+
+
+def test_non_responders_accumulate_declines():
+    """A known logger that never responds builds no suspicion."""
+    hot = AckerHotlist()
+    quiet = "quiet"
+    for _ in range(100):
+        hot.record_epoch(p_ack=0.2, responders=set(), known={quiet})
+    assert quiet not in hot.quarantined
+
+
+def test_mixed_population():
+    rng = random.Random(42)
+    hot = AckerHotlist()
+    known = {f"logger{i}" for i in range(20)} | {"bad"}
+    for _ in range(40):
+        responders = {l for l in known if l != "bad" and rng.random() < 0.1}
+        responders.add("bad")  # responds to everything
+        hot.record_epoch(p_ack=0.1, responders=responders, known=known)
+    assert hot.quarantined == frozenset({"bad"})
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        AckerHotlist(z_threshold=0.0)
+    with pytest.raises(ValueError):
+        AckerHotlist(min_responses=0)

@@ -1,0 +1,61 @@
+"""TimerSet and ProtocolMachine base-class tests."""
+
+from __future__ import annotations
+
+from repro.core.machine import ProtocolMachine, TimerSet
+
+
+def test_set_and_pop_due_in_deadline_order():
+    timers = TimerSet()
+    timers.set("b", 2.0)
+    timers.set("a", 1.0)
+    timers.set("c", 3.0)
+    assert timers.pop_due(2.5) == ["a", "b"]
+    assert timers.pop_due(2.5) == []  # popped timers are gone
+    assert "c" in timers
+
+
+def test_set_replaces_deadline():
+    timers = TimerSet()
+    timers.set("x", 5.0)
+    timers.set("x", 1.0)
+    assert timers.deadline("x") == 1.0
+    assert len(timers) == 1
+
+
+def test_cancel():
+    timers = TimerSet()
+    timers.set("x", 1.0)
+    timers.cancel("x")
+    timers.cancel("never-set")  # no-op
+    assert timers.pop_due(10.0) == []
+
+
+def test_cancel_prefix():
+    timers = TimerSet()
+    timers.set(("nack", 1), 1.0)
+    timers.set(("nack", 2), 2.0)
+    timers.set(("maxit",), 3.0)
+    timers.cancel_prefix(("nack",))
+    assert timers.pop_due(10.0) == [("maxit",)]
+
+
+def test_next_deadline():
+    timers = TimerSet()
+    assert timers.next_deadline() is None
+    timers.set("a", 7.0)
+    timers.set("b", 3.0)
+    assert timers.next_deadline() == 3.0
+
+
+def test_exact_deadline_fires():
+    timers = TimerSet()
+    timers.set("a", 1.0)
+    assert timers.pop_due(1.0) == ["a"]
+
+
+def test_machine_next_wakeup_reads_timers():
+    machine = ProtocolMachine()
+    assert machine.next_wakeup() is None
+    machine.timers.set("t", 4.0)
+    assert machine.next_wakeup() == 4.0

@@ -1,0 +1,176 @@
+"""Multi-group process tests (§2.2.1 footnote 5)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import LbrmConfig
+from repro.core.logger import LoggerRole, LogServer
+from repro.core.packets import DataPacket, LogAckPacket, NackPacket, RetransPacket
+from repro.core.process import MultiGroupProcess
+from repro.core.actions import SendUnicast
+
+
+def unicasts(actions, ptype):
+    return [a for a in actions if isinstance(a, SendUnicast) and isinstance(a.packet, ptype)]
+
+
+def build_dual_role_process() -> tuple[MultiGroupProcess, LogServer, LogServer]:
+    """One process: primary for group A, secondary for group B."""
+    process = MultiGroupProcess()
+    cfg = LbrmConfig()
+    primary_a = LogServer("A", addr_token="proc", config=cfg,
+                          role=LoggerRole.PRIMARY, source="srcA", level=0)
+    secondary_b = LogServer("B", addr_token="proc", config=cfg,
+                            role=LoggerRole.SECONDARY, parent="primaryB",
+                            source="srcB", level=1)
+    process.add("A", primary_a)
+    process.add("B", secondary_b)
+    return process, primary_a, secondary_b
+
+
+def test_dispatch_by_group():
+    process, primary_a, secondary_b = build_dual_role_process()
+    actions_a = process.handle(DataPacket(group="A", seq=1, payload=b"a"), "srcA", 0.0)
+    actions_b = process.handle(DataPacket(group="B", seq=1, payload=b"b"), "srcB", 0.0)
+    # Group A is primary: it ACKs the source.
+    assert unicasts(actions_a, LogAckPacket)
+    # Group B is secondary: no LOG_ACK, it just logs.
+    assert not unicasts(actions_b, LogAckPacket)
+    assert 1 in primary_a.log and 1 in secondary_b.log
+
+
+def test_dual_role_serves_nacks_per_group():
+    process, primary_a, secondary_b = build_dual_role_process()
+    process.handle(DataPacket(group="A", seq=1, payload=b"a"), "srcA", 0.0)
+    actions = process.handle(NackPacket(group="A", seqs=(1,)), "rx", 0.1)
+    assert unicasts(actions, RetransPacket)
+    # A NACK for B's unseen sequence goes upstream to B's parent.
+    actions = process.handle(NackPacket(group="B", seqs=(5,)), "rx", 0.2)
+    upstream = unicasts(actions, NackPacket)
+    assert upstream and upstream[0].dest == "primaryB"
+
+
+def test_unknown_group_counted_and_dropped():
+    process, *_ = build_dual_role_process()
+    actions = process.handle(DataPacket(group="C", seq=1, payload=b"c"), "src", 0.0)
+    assert actions == []
+    assert process.stats["unknown_group_packets"] == 1
+
+
+def test_wakeups_merge_across_children():
+    process, primary_a, secondary_b = build_dual_role_process()
+    primary_a.timers.set(("x",), 5.0)
+    secondary_b.timers.set(("y",), 3.0)
+    assert process.next_wakeup() == 3.0
+
+
+def test_poll_reaches_all_children():
+    process, primary_a, secondary_b = build_dual_role_process()
+    # secondary B has an upstream retry pending after a gap
+    process.handle(DataPacket(group="B", seq=1, payload=b"b"), "srcB", 0.0)
+    process.handle(DataPacket(group="B", seq=3, payload=b"b3"), "srcB", 0.1)
+    due = process.next_wakeup()
+    assert due is not None
+    actions = process.poll(due)
+    assert unicasts(actions, NackPacket)  # the retry went out
+
+
+def test_multiple_machines_per_group():
+    from repro.core.receiver import LbrmReceiver
+
+    process = MultiGroupProcess()
+    rx1 = LbrmReceiver("G", logger_chain=("l",))
+    rx2 = LbrmReceiver("G", logger_chain=("l",))
+    process.add("G", rx1)
+    process.add("G", rx2)
+    process.handle(DataPacket(group="G", seq=1, payload=b"x"), "src", 0.0)
+    assert rx1.tracker.has(1) and rx2.tracker.has(1)
+    assert len(process) == 2
+
+
+def test_remove():
+    process, primary_a, secondary_b = build_dual_role_process()
+    process.remove("B", secondary_b)
+    assert process.groups == frozenset({"A"})
+    process.handle(DataPacket(group="B", seq=1, payload=b"b"), "srcB", 0.0)
+    assert process.stats["unknown_group_packets"] == 1
+
+
+def test_retrans_channel_packets_route_to_data_group():
+    """A RETRANS on the channel names the data group; a process hosting
+    the channel subscription must route it to the data-group machines."""
+    from repro.core.config import ReceiverConfig
+    from repro.core.receiver import LbrmReceiver
+
+    process = MultiGroupProcess()
+    rx = LbrmReceiver("G", ReceiverConfig(retrans_channel_fallback=2.0),
+                      logger_chain=("l",))
+    process.add("G", rx)
+    process.handle(DataPacket(group="G", seq=1, payload=b"a"), "src", 0.0)
+    process.handle(DataPacket(group="G", seq=3, payload=b"c"), "src", 0.1)
+    # repair arrives via the channel (packet.group is the data group)
+    process.handle(RetransPacket(group="G", seq=2, payload=b"b"), "src", 0.5)
+    assert rx.tracker.has(2)
+
+
+def test_sim_integration_dual_role():
+    """Two groups, two sources, one logging process in both roles."""
+    from repro.core.receiver import LbrmReceiver
+    from repro.core.sender import LbrmSender
+    from repro.simnet import BurstLoss, Network, RngStreams, SimNode, Simulator
+
+    sim = Simulator()
+    net = Network(sim, streams=RngStreams(8))
+    s0, s1 = net.add_site("s0"), net.add_site("s1")
+    cfg = LbrmConfig()
+
+    # group A's source and its primary-at-the-process; group B's primary
+    # lives elsewhere (s0) and the process is B's site secondary.
+    primary_b_host = net.add_host("primaryB", s0)
+    primary_b = LogServer("B", addr_token="primaryB", config=cfg,
+                          role=LoggerRole.PRIMARY, source="srcB", level=0)
+    SimNode(net, primary_b_host, [primary_b]).start()
+
+    proc_host = net.add_host("proc", s1)
+    process = MultiGroupProcess()
+    process.add("A", LogServer("A", addr_token="proc", config=cfg,
+                               role=LoggerRole.PRIMARY, source="srcA", level=0))
+    process.add("B", LogServer("B", addr_token="proc", config=cfg,
+                               role=LoggerRole.SECONDARY, parent="primaryB",
+                               source="srcB", level=1))
+    SimNode(net, proc_host, [process]).start()
+
+    src_a_host = net.add_host("srcA", s1)
+    sender_a = LbrmSender("A", cfg, primary="proc", addr_token="srcA")
+    node_a = SimNode(net, src_a_host, [sender_a])
+    node_a.start()
+    src_b_host = net.add_host("srcB", s0)
+    sender_b = LbrmSender("B", cfg, primary="primaryB", addr_token="srcB")
+    node_b = SimNode(net, src_b_host, [sender_b])
+    node_b.start()
+
+    rx_host = net.add_host("rx", s1)
+    rx_a = LbrmReceiver("A", cfg.receiver, logger_chain=("proc",), heartbeat=cfg.heartbeat)
+    rx_b = LbrmReceiver("B", cfg.receiver, logger_chain=("proc", "primaryB"),
+                        heartbeat=cfg.heartbeat)
+    rx_proc = MultiGroupProcess()
+    rx_proc.add("A", rx_a)
+    rx_proc.add("B", rx_b)
+    SimNode(net, rx_host, [rx_proc]).start()
+
+    sim.run_until(0.1)
+    node_a.send_app(sender_a, b"from A")
+    node_b.send_app(sender_b, b"from B")
+    sim.run_until(1.0)
+    assert rx_a.tracker.has(1) and rx_b.tracker.has(1)
+    # sources released via their respective primaries
+    assert sender_a.released_up_to == 1
+    assert sender_b.released_up_to == 1
+
+    # B loses a packet at s1; the dual-role process serves it locally
+    # (recovering from its upstream if it missed it too).
+    rx_host.inbound_loss = BurstLoss([(sim.now, sim.now + 0.05)])
+    node_b.send_app(sender_b, b"B second")
+    sim.run_until(5.0)
+    assert rx_b.tracker.has(2)

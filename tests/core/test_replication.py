@@ -1,0 +1,99 @@
+"""ReplicationManager unit tests (§2.2.3 watermarks and retries)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.actions import SendUnicast
+from repro.core.config import ReplicationConfig
+from repro.core.packets import ReplUpdatePacket
+from repro.core.replication import ReplicationManager
+
+
+def updates(actions):
+    return [a for a in actions if isinstance(a, SendUnicast) and isinstance(a.packet, ReplUpdatePacket)]
+
+
+def test_replicate_sends_to_all_replicas():
+    mgr = ReplicationManager("g", ("r0", "r1", "r2"))
+    actions = mgr.replicate(1, b"a", 0.0)
+    assert {u.dest for u in updates(actions)} == {"r0", "r1", "r2"}
+    assert mgr.stats["updates_sent"] == 3
+
+
+def test_replica_seq_with_min_one():
+    """replica_seq = the most up-to-date replica's cumulative ACK."""
+    mgr = ReplicationManager("g", ("r0", "r1"))
+    mgr.replicate(1, b"a", 0.0)
+    mgr.replicate(2, b"b", 0.1)
+    assert mgr.replica_seq == 0
+    assert mgr.on_ack("r0", 2, 0.2)  # grew
+    assert mgr.replica_seq == 2  # one replica suffices by default
+
+
+def test_replica_seq_with_min_two():
+    """min_replicas_acked=2: the second-most up-to-date replica governs
+    ("the maximum sequential acknowledgement from the second-most
+    up-to-date replica, and so forth")."""
+    cfg = ReplicationConfig(min_replicas_acked=2)
+    mgr = ReplicationManager("g", ("r0", "r1", "r2"), cfg)
+    mgr.replicate(1, b"a", 0.0)
+    mgr.on_ack("r0", 1, 0.1)
+    assert mgr.replica_seq == 0  # only one replica has it
+    mgr.on_ack("r1", 1, 0.2)
+    assert mgr.replica_seq == 1
+
+
+def test_ack_from_unknown_replica_ignored():
+    mgr = ReplicationManager("g", ("r0",))
+    assert not mgr.on_ack("stranger", 5, 0.0)
+    assert mgr.replica_seq == 0
+
+
+def test_retry_unacked_updates():
+    cfg = ReplicationConfig(update_retry=0.5)
+    mgr = ReplicationManager("g", ("r0",), cfg)
+    mgr.replicate(1, b"a", 0.0)
+    actions = mgr.poll(0.6)
+    sent = updates(actions)
+    assert sent and sent[0].packet.seq == 1
+    assert mgr.stats["update_retries"] == 1
+
+
+def test_ack_cancels_retries():
+    cfg = ReplicationConfig(update_retry=0.5)
+    mgr = ReplicationManager("g", ("r0",), cfg)
+    mgr.replicate(1, b"a", 0.0)
+    mgr.on_ack("r0", 1, 0.1)
+    assert mgr.poll(0.6) == []
+    assert mgr.next_wakeup() is None
+
+
+def test_retry_cap_drops_entry():
+    cfg = ReplicationConfig(update_retry=0.1, max_update_retries=2)
+    mgr = ReplicationManager("g", ("r0",), cfg)
+    mgr.replicate(1, b"a", 0.0)
+    assert updates(mgr.poll(0.15))  # retry 1
+    assert updates(mgr.poll(0.30))  # retry 2
+    assert not updates(mgr.poll(0.45))  # capped: replica presumed dead
+
+
+def test_no_replicas_is_inert():
+    mgr = ReplicationManager("g", ())
+    assert mgr.replicate(1, b"a", 0.0) == []
+    assert mgr.replica_seq == 0
+    assert mgr.next_wakeup() is None
+
+
+def test_acked_by():
+    mgr = ReplicationManager("g", ("r0",))
+    assert mgr.acked_by("r0") is None
+    mgr.on_ack("r0", 3, 0.0)
+    assert mgr.acked_by("r0") == 3
+
+
+def test_stale_ack_does_not_regress():
+    mgr = ReplicationManager("g", ("r0",))
+    mgr.on_ack("r0", 5, 0.0)
+    mgr.on_ack("r0", 2, 0.1)  # reordered, stale
+    assert mgr.acked_by("r0") == 5

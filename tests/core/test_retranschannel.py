@@ -1,0 +1,166 @@
+"""Retransmission-channel extension tests (§7)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.actions import SendMulticast
+from repro.core.errors import ConfigError
+from repro.core.packets import RetransPacket
+from repro.core.retranschannel import (
+    RetransChannelConfig,
+    RetransChannelSender,
+    retrans_group,
+)
+
+
+def channel_sends(actions):
+    return [a for a in actions if isinstance(a, SendMulticast)]
+
+
+def test_retrans_group_naming():
+    assert retrans_group("dis/terrain/1") == "dis/terrain/1/retrans"
+
+
+def test_lifetime_is_backoff_sum():
+    cfg = RetransChannelConfig(copies=4, initial_delay=0.25, backoff=2.0)
+    assert cfg.lifetime == pytest.approx(0.25 + 0.5 + 1.0 + 2.0)
+
+
+def test_config_validation():
+    with pytest.raises(ConfigError):
+        RetransChannelConfig(copies=0)
+    with pytest.raises(ConfigError):
+        RetransChannelConfig(initial_delay=0.0)
+    with pytest.raises(ConfigError):
+        RetransChannelConfig(backoff=0.5)
+
+
+def test_copies_at_backed_off_offsets():
+    sender = RetransChannelSender("g", RetransChannelConfig(copies=3, initial_delay=0.25))
+    sender.on_data_sent(1, b"payload", 0, now=0.0)
+    offsets = []
+    while sender.next_wakeup() is not None:
+        due = sender.next_wakeup()
+        actions = sender.poll(due)
+        if channel_sends(actions):
+            offsets.append(due)
+    assert offsets == pytest.approx([0.25, 0.75, 1.75])
+    assert sender.stats["channel_copies_sent"] == 3
+
+
+def test_copies_carry_retrans_packets_on_channel_group():
+    sender = RetransChannelSender("g")
+    sender.on_data_sent(7, b"data7", epoch=3, now=0.0)
+    actions = sender.poll(sender.next_wakeup())
+    send = channel_sends(actions)[0]
+    assert send.group == "g/retrans"
+    assert isinstance(send.packet, RetransPacket)
+    assert send.packet.seq == 7
+    assert send.packet.payload == b"data7"
+    assert send.packet.epoch == 3
+    assert send.packet.group == "g"  # packet names the *data* group
+
+
+def test_interleaved_packets_tracked_independently():
+    sender = RetransChannelSender("g", RetransChannelConfig(copies=2, initial_delay=0.25))
+    sender.on_data_sent(1, b"a", 0, now=0.0)
+    sender.on_data_sent(2, b"b", 0, now=0.1)
+    sent = []
+    while sender.next_wakeup() is not None:
+        actions = sender.poll(sender.next_wakeup())
+        sent += [a.packet.seq for a in channel_sends(actions)]
+    assert sorted(sent) == [1, 1, 2, 2]
+
+
+class TestReceiverChannelMode:
+    def make(self):
+        from repro.core.config import ReceiverConfig
+        from repro.core.receiver import LbrmReceiver
+
+        cfg = ReceiverConfig(retrans_channel_fallback=2.0)
+        return LbrmReceiver("g", cfg, logger_chain=("logger",))
+
+    def test_gap_joins_channel_instead_of_nacking(self):
+        from repro.core.actions import JoinGroup, SendUnicast
+        from repro.core.packets import DataPacket
+
+        rx = self.make()
+        rx.start(0.0)
+        rx.handle(DataPacket(group="g", seq=1, payload=b"a"), "src", 0.1)
+        actions = rx.handle(DataPacket(group="g", seq=3, payload=b"c"), "src", 0.2)
+        joins = [a for a in actions if isinstance(a, JoinGroup)]
+        nacks = [a for a in actions if isinstance(a, SendUnicast)]
+        assert joins and joins[0].group == "g/retrans"
+        assert not nacks
+
+    def test_channel_repair_completes_and_leaves(self):
+        from repro.core.actions import LeaveGroup
+        from repro.core.packets import DataPacket, RetransPacket
+
+        rx = self.make()
+        rx.start(0.0)
+        rx.handle(DataPacket(group="g", seq=1, payload=b"a"), "src", 0.1)
+        rx.handle(DataPacket(group="g", seq=3, payload=b"c"), "src", 0.2)
+        actions = rx.handle(RetransPacket(group="g", seq=2, payload=b"b"), "src", 0.5)
+        leaves = [a for a in actions if isinstance(a, LeaveGroup)]
+        assert leaves and leaves[0].group == "g/retrans"
+        assert rx.stats["nacks_sent"] == 0
+        assert not rx.missing
+
+    def test_fallback_nack_after_channel_ages_out(self):
+        from repro.core.actions import SendUnicast
+        from repro.core.packets import DataPacket, NackPacket
+
+        rx = self.make()
+        rx.start(0.0)
+        rx.handle(DataPacket(group="g", seq=1, payload=b"a"), "src", 0.1)
+        rx.handle(DataPacket(group="g", seq=3, payload=b"c"), "src", 0.2)
+        # nothing arrives on the channel; fallback timer at 0.2 + 2.0
+        actions = rx.poll(2.3)
+        nacks = [a for a in actions
+                 if isinstance(a, SendUnicast) and isinstance(a.packet, NackPacket)]
+        assert nacks and nacks[0].dest == "logger"
+
+
+def test_sender_integration_over_simnet():
+    """End to end: channel repairs the loss; no NACK is ever sent."""
+    from repro.core.config import LbrmConfig, ReceiverConfig
+    from repro.core.logger import LoggerRole, LogServer
+    from repro.core.receiver import LbrmReceiver
+    from repro.core.sender import LbrmSender
+    from repro.simnet import BurstLoss, Network, RngStreams, SimNode, Simulator
+
+    sim = Simulator()
+    net = Network(sim, streams=RngStreams(4))
+    s0, s1 = net.add_site("s0"), net.add_site("s1")
+    cfg = LbrmConfig()
+    channel_cfg = RetransChannelConfig()
+    prim_host = net.add_host("primary", s0)
+    primary = LogServer("g", addr_token="primary", config=cfg,
+                        role=LoggerRole.PRIMARY, source="src", level=0)
+    SimNode(net, prim_host, [primary]).start()
+    src_host = net.add_host("src", s0)
+    sender = LbrmSender("g", cfg, primary="primary",
+                        retrans_channel=channel_cfg, addr_token="src")
+    src_node = SimNode(net, src_host, [sender])
+    src_node.start()
+    rx_host = net.add_host("rx", s1)
+    receiver = LbrmReceiver(
+        "g",
+        ReceiverConfig(retrans_channel_fallback=channel_cfg.lifetime + 0.5),
+        logger_chain=("primary",),
+        heartbeat=cfg.heartbeat,
+    )
+    SimNode(net, rx_host, [receiver]).start()
+
+    sim.run_until(0.1)
+    src_node.send_app(sender, b"one")
+    sim.run_until(1.0)
+    rx_host.inbound_loss = BurstLoss([(sim.now, sim.now + 0.05)])
+    src_node.send_app(sender, b"two")
+    sim.run_until(10.0)
+    assert receiver.tracker.has(2)
+    assert receiver.stats["nacks_sent"] == 0
+    assert receiver.stats.get("channel_joins") == 1
+    assert not receiver._on_channel  # left once whole

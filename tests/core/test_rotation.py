@@ -1,0 +1,136 @@
+"""Rotating-logger tests (§2.2.1's Chang-Maxemchuk-style alternative)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.actions import SendUnicast
+from repro.core.config import LbrmConfig, ReceiverConfig
+from repro.core.logger import LoggerRole, LogServer
+from repro.core.packets import DataPacket, NackPacket, RetransPacket
+from repro.core.rotation import RotatingLogServer, RotationSchedule
+
+
+class TestSchedule:
+    def test_round_robin_order_is_sorted_and_cyclic(self):
+        schedule = RotationSchedule(("b", "a", "c"), period=10.0)
+        assert schedule.members == ("a", "b", "c")
+        assert schedule.on_duty(0.0) == "a"
+        assert schedule.on_duty(10.0) == "b"
+        assert schedule.on_duty(20.0) == "c"
+        assert schedule.on_duty(30.0) == "a"
+
+    def test_identical_on_every_host(self):
+        """Determinism = no coordination traffic."""
+        s1 = RotationSchedule(("x", "y"), period=5.0)
+        s2 = RotationSchedule(("y", "x"), period=5.0)
+        for t in (0.0, 4.9, 5.0, 12.3, 100.0):
+            assert s1.on_duty(t) == s2.on_duty(t)
+
+    def test_next_handoff(self):
+        schedule = RotationSchedule(("a", "b"), period=10.0)
+        assert schedule.next_handoff(0.0) == 10.0
+        assert schedule.next_handoff(9.99) == 10.0
+        assert schedule.next_handoff(10.0) == 20.0
+
+    def test_duty_spans_cover_interval(self):
+        schedule = RotationSchedule(("a", "b"), period=10.0)
+        spans = schedule.duty_spans(5.0, 25.0)
+        assert spans == [("a", 5.0, 10.0), ("b", 10.0, 20.0), ("a", 20.0, 25.0)]
+
+    def test_epoch_offset(self):
+        schedule = RotationSchedule(("a", "b"), period=10.0, epoch=3.0)
+        assert schedule.on_duty(3.0) == "a"
+        assert schedule.on_duty(13.0) == "b"
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RotationSchedule((), period=10.0)
+        with pytest.raises(ValueError):
+            RotationSchedule(("a",), period=0.0)
+
+
+def make_rotating(host: str, members=("h0", "h1")) -> RotatingLogServer:
+    inner = LogServer("g", addr_token=host, config=LbrmConfig(),
+                      role=LoggerRole.SECONDARY, parent="primary", source="source")
+    return RotatingLogServer(inner, host, RotationSchedule(members, period=10.0))
+
+
+class TestRotatingLogServer:
+    def test_logs_regardless_of_duty(self):
+        server = make_rotating("h1")  # h0 on duty at t=0
+        server.handle(DataPacket(group="g", seq=1, payload=b"x"), "source", 0.0)
+        assert 1 in server.inner.log
+
+    def test_serves_nack_only_on_duty(self):
+        server = make_rotating("h0")
+        server.handle(DataPacket(group="g", seq=1, payload=b"x"), "source", 0.0)
+        # on duty (t in [0, 10)): serves
+        actions = server.handle(NackPacket(group="g", seqs=(1,)), "rx", 1.0)
+        assert [a for a in actions if isinstance(a, SendUnicast) and isinstance(a.packet, RetransPacket)]
+        # off duty (t in [10, 20)): silent
+        actions = server.handle(NackPacket(group="g", seqs=(1,)), "rx", 11.0)
+        assert actions == []
+        assert server.stats["deferred_off_duty"] == 1
+
+    def test_member_validation(self):
+        with pytest.raises(ValueError):
+            make_rotating("stranger")
+
+
+def test_rotation_over_simnet_load_is_shared():
+    """Two hosts take turns serving a chatty receiver; both end up with
+    complete logs and each served roughly its duty share."""
+    from repro.core.receiver import LbrmReceiver
+    from repro.core.sender import LbrmSender
+    from repro.simnet import BurstLoss, Network, RngStreams, SimNode, Simulator
+
+    sim = Simulator()
+    net = Network(sim, streams=RngStreams(12))
+    s0, s1 = net.add_site("s0"), net.add_site("s1")
+    cfg = LbrmConfig()
+
+    primary = LogServer("g", addr_token="primary", config=cfg,
+                        role=LoggerRole.PRIMARY, source="source", level=0)
+    SimNode(net, net.add_host("primary", s0), [primary]).start()
+    sender = LbrmSender("g", cfg, primary="primary", addr_token="source")
+    src_node = SimNode(net, net.add_host("source", s0), [sender])
+    src_node.start()
+
+    members = ("h0", "h1")
+    schedule = RotationSchedule(members, period=4.0)
+    rotating = {}
+    for host in members:
+        inner = LogServer("g", addr_token=host, config=cfg,
+                          role=LoggerRole.SECONDARY, parent="primary", source="source",
+                          rng=net.streams.stream(f"rot:{host}"))
+        server = RotatingLogServer(inner, host, schedule)
+        rotating[host] = server
+        SimNode(net, net.add_host(host, s1), [server]).start()
+
+    # a receiver that loses every 3rd packet and NACKs whoever is on duty
+    rx_host = net.add_host("rx", s1)
+    receiver = LbrmReceiver("g", ReceiverConfig(), logger_chain=(),
+                            source="source", heartbeat=cfg.heartbeat)
+    rx_node = SimNode(net, rx_host, [receiver])
+    rx_node.start()
+
+    sim.run_until(0.1)
+    for i in range(24):
+        # point the receiver's chain at the on-duty host before each send
+        receiver.set_logger_chain((schedule.on_duty(sim.now), "primary"))
+        if i % 3 == 2:
+            rx_host.inbound_loss = BurstLoss([(sim.now, sim.now + 0.05)])
+        else:
+            rx_host.inbound_loss = None
+        src_node.send_app(sender, f"p{i}".encode())
+        sim.run_until(sim.now + 1.0)
+    sim.run_until(sim.now + 5.0)
+
+    assert receiver.missing == frozenset()
+    assert receiver.tracker.highest == 24
+    # both members logged everything and both did some serving
+    for host, server in rotating.items():
+        assert server.inner.primary_seq == 24, host
+    served = {h: s.stats["served_on_duty"] for h, s in rotating.items()}
+    assert all(count > 0 for count in served.values()), served

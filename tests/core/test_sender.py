@@ -1,0 +1,183 @@
+"""LbrmSender unit tests: sequencing, heartbeats, buffer release, failover."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.actions import Notify, SendMulticast, SendUnicast
+from repro.core.config import LbrmConfig, ReplicationConfig
+from repro.core.events import PrimaryFailover, SourceBufferReleased
+from repro.core.packets import (
+    DataPacket,
+    HeartbeatPacket,
+    LogAckPacket,
+    PrimaryInfoPacket,
+    PrimaryQueryPacket,
+    PromotePacket,
+    ReplAckPacket,
+    ReplStatusQueryPacket,
+    ReplUpdatePacket,
+)
+from repro.core.sender import FailoverPhase, LbrmSender
+
+
+def multicasts(actions):
+    return [a for a in actions if isinstance(a, SendMulticast)]
+
+
+def unicasts(actions):
+    return [a for a in actions if isinstance(a, SendUnicast)]
+
+
+def make_sender(**kwargs) -> LbrmSender:
+    return LbrmSender("g", LbrmConfig(), primary="primary", **kwargs)
+
+
+def test_send_assigns_increasing_sequence():
+    s = make_sender()
+    a1 = s.send(b"one", 0.0)
+    a2 = s.send(b"two", 1.0)
+    assert multicasts(a1)[0].packet.seq == 1
+    assert multicasts(a2)[0].packet.seq == 2
+    assert s.seq == 2
+
+
+def test_data_retained_until_log_ack():
+    s = make_sender()
+    s.send(b"one", 0.0)
+    assert s.unacked == 1
+    actions = s.handle(LogAckPacket(group="g", primary_seq=1, replica_seq=0), "primary", 0.01)
+    # No replicas configured: the primary's own ACK releases.
+    assert s.unacked == 0
+    assert s.released_up_to == 1
+    released = [a for a in actions if isinstance(a, Notify) and isinstance(a.event, SourceBufferReleased)]
+    assert released and released[0].event.seq == 1
+
+
+def test_with_replicas_release_waits_for_replica_seq():
+    s = make_sender(replicas=("r0",))
+    s.send(b"one", 0.0)
+    s.handle(LogAckPacket(group="g", primary_seq=1, replica_seq=0), "primary", 0.01)
+    assert s.unacked == 1  # replica hasn't confirmed
+    s.handle(LogAckPacket(group="g", primary_seq=1, replica_seq=1), "primary", 0.02)
+    assert s.unacked == 0
+
+
+def test_log_ack_from_stranger_ignored():
+    s = make_sender()
+    s.send(b"one", 0.0)
+    s.handle(LogAckPacket(group="g", primary_seq=1, replica_seq=1), "impostor", 0.01)
+    assert s.unacked == 1
+
+
+def test_heartbeat_fires_after_h_min():
+    s = make_sender()
+    s.send(b"one", 0.0)
+    assert s.next_wakeup() == pytest.approx(0.25)
+    actions = s.poll(0.25)
+    beats = [a for a in multicasts(actions) if isinstance(a.packet, HeartbeatPacket)]
+    assert len(beats) == 1
+    assert beats[0].packet.seq == 1
+    assert beats[0].packet.hb_index == 1
+
+
+def test_heartbeat_index_increments_and_resets():
+    s = make_sender()
+    s.send(b"one", 0.0)
+    s.poll(0.25)
+    actions = s.poll(0.75)
+    hb = multicasts(actions)[0].packet
+    assert hb.hb_index == 2
+    s.send(b"two", 1.0)
+    actions = s.poll(1.25)
+    hb = multicasts(actions)[0].packet
+    assert hb.hb_index == 1  # reset by data
+
+
+def test_primary_query_answered():
+    s = make_sender()
+    actions = s.handle(PrimaryQueryPacket(group="g"), "rx1", 0.0)
+    replies = unicasts(actions)
+    assert len(replies) == 1
+    assert isinstance(replies[0].packet, PrimaryInfoPacket)
+    assert replies[0].packet.primary_addr == "primary"
+    assert replies[0].dest == "rx1"
+
+
+class TestFailover:
+    def make(self):
+        cfg = LbrmConfig(replication=ReplicationConfig(primary_timeout=1.0, failover_wait=0.2))
+        s = LbrmSender("g", cfg, primary="primary", replicas=("r0", "r1"))
+        s.start(0.0)
+        return s
+
+    def test_healthy_when_acks_flow(self):
+        s = self.make()
+        s.send(b"x", 0.0)
+        s.handle(LogAckPacket(group="g", primary_seq=1, replica_seq=1), "primary", 0.1)
+        s.poll(1.0)
+        assert s.failover_phase is FailoverPhase.HEALTHY
+
+    def test_timeout_queries_replicas(self):
+        s = self.make()
+        s.send(b"x", 0.0)
+        actions = s.poll(2.5)  # primary never acked, check fires past 1.0s age
+        queries = [a for a in unicasts(actions) if isinstance(a.packet, ReplStatusQueryPacket)]
+        assert {q.dest for q in queries} == {"r0", "r1"}
+        assert s.failover_phase is FailoverPhase.QUERYING
+
+    def test_most_up_to_date_replica_promoted(self):
+        s = self.make()
+        s.send(b"x", 0.0)
+        s.send(b"y", 0.1)
+        s.poll(2.5)
+        s.handle(ReplAckPacket(group="g", cum_seq=1), "r1", 2.6)
+        s.handle(ReplAckPacket(group="g", cum_seq=2**64 - 1), "r0", 2.6)  # r0 has nothing
+        actions = s.poll(2.8)  # failover_wait elapsed
+        promotes = [a for a in unicasts(actions) if isinstance(a.packet, PromotePacket)]
+        assert len(promotes) == 1
+        assert promotes[0].dest == "r1"
+        assert promotes[0].packet.from_seq == 2
+        assert s.primary == "r1"
+        events = [a.event for a in actions if isinstance(a, Notify) and isinstance(a.event, PrimaryFailover)]
+        assert events and events[0].new_primary == "r1"
+        # Handover pushes the buffered tail (seq 2).
+        updates = [a for a in unicasts(actions) if isinstance(a.packet, ReplUpdatePacket)]
+        assert [u.packet.seq for u in updates] == [2]
+
+    def test_handover_completion_releases(self):
+        s = self.make()
+        s.send(b"x", 0.0)
+        s.poll(2.5)
+        s.handle(ReplAckPacket(group="g", cum_seq=2**64 - 1), "r0", 2.6)
+        s.poll(2.8)
+        assert s.failover_phase is FailoverPhase.HANDOVER
+        s.handle(ReplAckPacket(group="g", cum_seq=1), s.primary, 3.0)
+        assert s.failover_phase is FailoverPhase.HEALTHY
+        assert s.stats["failovers"] == 1
+
+    def test_no_votes_aborts_failover(self):
+        s = self.make()
+        s.send(b"x", 0.0)
+        s.poll(2.5)
+        actions = s.poll(2.8)  # vote window closes, nobody answered
+        assert s.failover_phase is FailoverPhase.HEALTHY
+        assert s.primary == "primary"  # unchanged; will retry later
+        assert not unicasts(actions) or all(
+            not isinstance(a.packet, PromotePacket) for a in unicasts(actions)
+        )
+
+    def test_no_replicas_never_fails_over(self):
+        cfg = LbrmConfig(replication=ReplicationConfig(primary_timeout=1.0))
+        s = LbrmSender("g", cfg, primary="primary")
+        s.start(0.0)
+        s.send(b"x", 0.0)
+        s.poll(5.0)
+        assert s.failover_phase is FailoverPhase.HEALTHY
+
+
+def test_no_primary_means_no_retention():
+    """Co-located logging: the node's own LogServer holds the data."""
+    s = LbrmSender("g", LbrmConfig(), primary=None)
+    s.send(b"x", 0.0)
+    assert s.unacked == 0

@@ -1,0 +1,90 @@
+"""Quantitative check of §2.3.2's statistical detection model.
+
+"For example, if there are 20 Designated Ackers in a configuration with
+500 sites, it is possible, although unlikely, to receive all the
+acknowledgements yet have 480 sites that missed the data."
+
+With k ackers drawn uniformly from N sites and a fraction f of sites
+losing a packet, the source misses the event iff every acker sits in
+the clean fraction: P(miss) = C((1-f)N, k) / C(N, k).  We drive the
+engine directly over many seeded trials and compare the observed
+detection rate against that hypergeometric prediction.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+
+from repro.core.config import StatAckConfig
+from repro.core.packets import AckerResponsePacket, AckerSelectPacket, DataAckPacket
+from repro.core.retransmit import RetransmitDecision
+from repro.core.statack import StatAckSource
+
+N_SITES = 200
+TRIALS = 400
+
+
+def p_miss(n: int, k: int, f: float) -> float:
+    clean = int(round((1.0 - f) * n))
+    if k > clean:
+        return 0.0
+    return math.comb(clean, k) / math.comb(n, k)
+
+
+def run_trials(k: int, loss_fraction: float, seed: int = 1) -> float:
+    """Observed detection rate over many independent loss patterns."""
+    rng = random.Random(seed)
+    detections = 0
+    sites = [f"site{i}" for i in range(N_SITES)]
+    for trial in range(TRIALS):
+        engine = StatAckSource("g", StatAckConfig(k_ackers=k, epoch_length=10_000),
+                               rng=random.Random(trial))
+        engine.seed_group_size(float(N_SITES))
+        actions = engine.start(0.0)
+        select = next(a.packet for a in actions
+                      if hasattr(a, "packet") and isinstance(a.packet, AckerSelectPacket))
+        # Each site volunteers with p_ack (the protocol's selection);
+        # resample until at least one acker exists so every trial counts.
+        ackers: list[str] = []
+        while not ackers:
+            ackers = [s for s in sites if rng.random() < select.p_ack]
+        for acker in ackers:
+            engine.handle(AckerResponsePacket(group="g", epoch=select.epoch), acker, 0.01)
+        engine.poll(engine.next_wakeup())
+
+        lost = set(rng.sample(sites, int(N_SITES * loss_fraction)))
+        engine.on_data_sent(1, 1.0)
+        for acker in ackers:
+            if acker not in lost:
+                engine.handle(DataAckPacket(group="g", epoch=engine.current_epoch, seq=1),
+                              acker, 1.02)
+        _, orders = engine.poll(1.0 + 10.0)
+        if orders and orders[0].decision is not RetransmitDecision.NONE:
+            detections += 1
+    return detections / TRIALS
+
+
+@pytest.mark.parametrize(
+    "k,loss_fraction",
+    [(5, 0.3), (10, 0.2), (20, 0.1), (3, 0.5)],
+)
+def test_detection_rate_matches_hypergeometric(k, loss_fraction):
+    observed = run_trials(k, loss_fraction)
+    # The engine's acker count is Binomial(N, k/N) rather than exactly k;
+    # use the binomial-mixture approximation (1-f)^K averaged over K,
+    # which for p = k/N collapses to (1 - f·k/N)^N ≈ exp(-f·k).
+    predicted = 1.0 - math.exp(-loss_fraction * k)
+    assert observed == pytest.approx(predicted, abs=0.08), (
+        f"k={k}, f={loss_fraction}: observed {observed:.3f}, predicted {predicted:.3f}"
+    )
+
+
+def test_paper_500_site_anecdote():
+    """20 ackers, 480 of 500 sites lost: missing it is 'possible,
+    although unlikely' — the probability is astronomically small."""
+    assert p_miss(500, 20, 480 / 500) < 1e-20
+    # and with a mild 10% loss it is still caught 7 times out of 8:
+    assert 1 - p_miss(500, 20, 0.1) > 0.85

@@ -1,0 +1,59 @@
+"""The crying-baby comparison (§6): one lossy receiver under SRM vs LBRM.
+
+"if a single link to one member of the group has a high error rate, then
+all members of the multicast group must contend with a multicast request
+and one or more multicast responses ... LBRM does not suffer from the
+crying baby problem because retransmission requests and repairs are not
+multicast unless a number of receivers lost the packet."
+
+The shared scenario lives in :mod:`repro.simnet.scenarios` so the
+benchmark harness measures exactly what these tests assert.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.simnet.scenarios import (
+    CRYING_BABY,
+    run_lbrm_crying_baby,
+    run_srm_crying_baby,
+)
+
+RX_PER_SITE = CRYING_BABY["rx_per_site"]
+
+
+def test_srm_crying_baby_floods_the_group():
+    members, innocent = run_srm_crying_baby()
+    # the baby recovered...
+    assert not members[0].missing
+    # ...but innocent members across the WAN saw its multicast recovery
+    # traffic (requests and repairs for losses that were never theirs).
+    exposure = innocent.stats["duplicate_repairs_seen"]
+    requests_everywhere = sum(m.stats["requests_sent"] for m in members)
+    assert requests_everywhere > 0
+    assert exposure > 0
+
+
+def test_lbrm_keeps_baby_traffic_local():
+    receivers, hosts = run_lbrm_crying_baby()
+    # the baby recovered everything...
+    assert not receivers[0].missing
+    baby = receivers[0]
+    assert baby.stats["recoveries"] > 0
+    # ...and receivers at other sites saw zero recovery traffic:
+    for rx in receivers[RX_PER_SITE:]:
+        assert rx.stats["retrans_received"] == 0
+        assert rx.stats["duplicates"] == 0
+
+
+def test_lbrm_innocent_rx_packet_budget_smaller():
+    """Innocent members receive ~(data + heartbeats) only under LBRM,
+    while SRM exposes them to the baby's repair chatter on top."""
+    members, innocent_srm = run_srm_crying_baby()
+    receivers, hosts = run_lbrm_crying_baby()
+    innocent_lbrm = receivers[-1]
+    lbrm_overhead = innocent_lbrm.stats["retrans_received"] + innocent_lbrm.stats["duplicates"]
+    srm_overhead = innocent_srm.stats["duplicate_repairs_seen"]
+    assert lbrm_overhead == 0
+    assert srm_overhead > 0

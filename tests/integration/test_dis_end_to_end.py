@@ -1,0 +1,89 @@
+"""The motivating scenario end-to-end: the destroyed bridge (§1).
+
+A bridge terrain entity is static for a long time, then destroyed; every
+tank (receiver) must see the destruction within a fraction of a second —
+even the one whose site lost the packet.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.dis import TerrainDatabase, TerrainEntity, TerrainKind
+from repro.simnet import BurstLoss, DeploymentSpec, LbrmDeployment
+
+
+def test_bridge_destruction_reaches_every_tank_quickly():
+    dep = LbrmDeployment(DeploymentSpec(n_sites=5, receivers_per_site=4, seed=31))
+    dep.start()
+    dep.advance(0.1)
+
+    bridge = TerrainEntity(17, TerrainKind.BRIDGE, 100.0, 200.0)
+    databases = [TerrainDatabase() for _ in dep.receivers]
+
+    # initial state dissemination
+    dep.send(bridge.state.encode())
+    dep.advance(1.0)
+
+    # a long static period (the variable heartbeat thins out)
+    dep.advance(120.0)
+    heartbeats_in_idle = dep.sender.stats["heartbeats_sent"]
+    assert heartbeats_in_idle <= 10  # ~9 under the variable scheme
+
+    # the bridge is destroyed, and site2's tail circuit drops the update
+    site2 = dep.network.site("site2")
+    site2.tail_down.loss = BurstLoss([(dep.sim.now, dep.sim.now + 0.05)])
+    destroyed = bridge.destroy()
+    send_time = dep.sim.now
+    dep.send(destroyed.encode())
+    dep.advance(2.0)
+
+    # every receiver applies every delivered update to its database
+    for node, db in zip(dep.receiver_nodes, databases):
+        for delivery in node.delivered:
+            db.apply(delivery.payload)
+
+    for i, db in enumerate(databases):
+        state = db.get(17)
+        assert state is not None, f"receiver {i} never saw the bridge"
+        assert state.condition == 0, f"receiver {i} still shows the bridge intact"
+
+    # freshness: site2's recovery went detection (h_min=0.25) + local RTT
+    from repro.core.events import RecoveryComplete
+
+    site2_nodes = dep.receiver_nodes[4:8]
+    latencies = [
+        e.latency for node in site2_nodes for e in node.events_of(RecoveryComplete)
+    ]
+    assert latencies, "site2 receivers never recovered the update"
+    assert max(latencies) < 0.5  # "within a fraction of a second"
+
+
+def test_out_of_order_recovery_never_regresses_terrain():
+    """A recovered older update must not resurrect a destroyed bridge."""
+    dep = LbrmDeployment(DeploymentSpec(n_sites=2, receivers_per_site=2, seed=32))
+    dep.start()
+    dep.advance(0.1)
+    bridge = TerrainEntity(5, TerrainKind.BRIDGE, 0.0, 0.0)
+
+    # Baseline traffic so the receivers are tracking the stream.
+    dep.send(bridge.state.encode())
+    dep.advance(1.0)
+
+    damaged = bridge.damage(50)
+    destroyed = bridge.destroy()
+
+    # Damage update is lost at site1; destruction arrives; recovery brings
+    # the damage update back later (out of order).
+    site1 = dep.network.site("site1")
+    site1.tail_down.loss = BurstLoss([(dep.sim.now, dep.sim.now + 0.05)])
+    dep.send(damaged.encode())
+    dep.advance(0.2)
+    dep.send(destroyed.encode())
+    dep.advance(5.0)
+
+    db = TerrainDatabase()
+    for delivery in dep.receiver_nodes[0].delivered:
+        db.apply(delivery.payload)
+    assert db.get(5).condition == 0
+    assert db.stats["stale_dropped"] >= 1

@@ -1,0 +1,136 @@
+"""Fine-grained groups at (small) scale — the paper's core premise.
+
+DIS gives every terrain entity its own multicast group (§1).  Here 30
+entities × their own LBRM group run through shared infrastructure: one
+dual-role logging process per site (secondary for every group), one
+primary logging process for all groups, and per-entity senders hosted on
+one source node — all via :class:`MultiGroupProcess`.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.dis import TerrainDatabase, TerrainEntity, TerrainKind
+from repro.core.config import LbrmConfig
+from repro.core.logger import LoggerRole, LogServer
+from repro.core.process import MultiGroupProcess
+from repro.core.receiver import LbrmReceiver
+from repro.core.sender import LbrmSender
+from repro.simnet import BurstLoss, Network, RngStreams, SimNode, Simulator
+
+N_ENTITIES = 30
+N_SITES = 3
+
+
+@pytest.fixture
+def world():
+    sim = Simulator()
+    streams = RngStreams(77)
+    net = Network(sim, streams=streams)
+    cfg = LbrmConfig()
+    groups = [f"terrain/{i}" for i in range(1, N_ENTITIES + 1)]
+
+    s0 = net.add_site("s0")
+    sites = [net.add_site(f"s{i}") for i in range(1, N_SITES + 1)]
+
+    # One primary logging process for every group.
+    primary_host = net.add_host("primary", s0)
+    primary_proc = MultiGroupProcess()
+    for group in groups:
+        primary_proc.add(group, LogServer(group, addr_token="primary", config=cfg,
+                                          role=LoggerRole.PRIMARY, source="source", level=0))
+    SimNode(net, primary_host, [primary_proc]).start()
+
+    # One source node hosting every entity's sender.
+    source_host = net.add_host("source", s0)
+    source_proc = MultiGroupProcess()
+    senders = {}
+    for group in groups:
+        sender = LbrmSender(group, cfg, primary="primary", addr_token="source")
+        senders[group] = sender
+        source_proc.add(group, sender)
+    source_node = SimNode(net, source_host, [source_proc])
+    source_node.start()
+
+    # Per-site: one dual-role logging process (secondary for all groups)
+    # and two receiver processes subscribing to every group.
+    receivers: list[tuple[LbrmReceiver, str]] = []
+    for si, site in enumerate(sites, start=1):
+        logger_host = net.add_host(f"s{si}-logger", site)
+        logger_proc = MultiGroupProcess()
+        for group in groups:
+            logger_proc.add(group, LogServer(group, addr_token=f"s{si}-logger", config=cfg,
+                                             role=LoggerRole.SECONDARY, parent="primary",
+                                             source="source", level=1,
+                                             rng=streams.stream(f"lg{si}:{group}")))
+        SimNode(net, logger_host, [logger_proc]).start()
+        for ri in range(2):
+            rx_host = net.add_host(f"s{si}-rx{ri}", site)
+            rx_proc = MultiGroupProcess()
+            for group in groups:
+                rx = LbrmReceiver(group, cfg.receiver,
+                                  logger_chain=(f"s{si}-logger", "primary"),
+                                  source="source", heartbeat=cfg.heartbeat)
+                rx_proc.add(group, rx)
+                receivers.append((rx, group))
+            SimNode(net, rx_host, [rx_proc]).start()
+
+    entities = {f"terrain/{i}": TerrainEntity(i, TerrainKind.BRIDGE if i % 7 == 0 else TerrainKind.TREE, float(i), 0.0)
+                for i in range(1, N_ENTITIES + 1)}
+    return sim, net, source_node, senders, receivers, entities
+
+
+def test_every_entity_group_disseminates(world):
+    sim, net, source_node, senders, receivers, entities = world
+    sim.run_until(0.1)
+    for group, entity in entities.items():
+        source_node.run_machine(senders[group].send, entity.state.encode(), sim.now)
+        sim.run_until(sim.now + 0.01)
+    sim.run_until(sim.now + 2.0)
+    for rx, group in receivers:
+        assert rx.tracker.has(1), f"{group} missing at a receiver"
+
+
+def test_one_group_loss_recovers_without_touching_others(world):
+    sim, net, source_node, senders, receivers, entities = world
+    sim.run_until(0.1)
+    for group, entity in entities.items():
+        source_node.run_machine(senders[group].send, entity.state.encode(), sim.now)
+        sim.run_until(sim.now + 0.01)
+    sim.run_until(sim.now + 2.0)
+
+    # One bridge is destroyed; s2's tail circuit drops that update only
+    # (the burst is short, other groups are idle).
+    bridge_group = "terrain/7"
+    net.site("s2").tail_down.loss = BurstLoss([(sim.now, sim.now + 0.05)])
+    state = entities[bridge_group].destroy()
+    source_node.run_machine(senders[bridge_group].send, state.encode(), sim.now)
+    sim.run_until(sim.now + 5.0)
+
+    for rx, group in receivers:
+        expected_high = 2 if group == bridge_group else 1
+        assert rx.tracker.highest == expected_high
+        assert rx.missing == frozenset(), f"{group} still missing"
+
+    # Idle groups stayed idle: their senders emitted only their own
+    # backed-off heartbeats, no recovery traffic.
+    idle_sender = senders["terrain/1"]
+    assert idle_sender.stats["data_sent"] == 1
+    assert idle_sender.stats["remulticasts"] == 0
+
+
+def test_per_group_logs_isolated(world):
+    sim, net, source_node, senders, receivers, entities = world
+    sim.run_until(0.1)
+    for group in ("terrain/1", "terrain/2"):
+        for _ in range(3):
+            source_node.run_machine(senders[group].send, b"update", sim.now)
+            sim.run_until(sim.now + 0.05)
+    sim.run_until(sim.now + 1.0)
+    primary_host = net.host("primary")
+    primary_proc = primary_host.endpoint.machines[0]
+    log1 = primary_proc.machines_for("terrain/1")[0].log
+    log2 = primary_proc.machines_for("terrain/2")[0].log
+    log3 = primary_proc.machines_for("terrain/3")[0].log
+    assert len(log1) == 3 and len(log2) == 3 and len(log3) == 0

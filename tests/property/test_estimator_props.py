@@ -1,0 +1,73 @@
+"""Property-based estimator tests: convergence and bounds."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.estimator import EwmaEstimator, GroupSizeEstimator, TWaitEstimator
+
+
+@given(
+    st.floats(min_value=0.01, max_value=1.0),
+    st.floats(min_value=0.0, max_value=100.0),
+    st.lists(st.floats(min_value=0.0, max_value=100.0), min_size=1, max_size=50),
+)
+def test_ewma_stays_within_sample_hull(alpha, initial, samples):
+    """The estimate never leaves [min, max] of everything seen so far."""
+    est = EwmaEstimator(alpha=alpha, initial=initial)
+    seen = [initial]
+    for sample in samples:
+        est.update(sample)
+        seen.append(sample)
+        assert min(seen) - 1e-9 <= est.estimate <= max(seen) + 1e-9
+
+
+@given(st.lists(st.floats(min_value=0.0, max_value=10.0), min_size=1, max_size=50))
+def test_t_wait_always_positive(samples):
+    est = TWaitEstimator(alpha=0.125, initial=0.1)
+    for sample in samples:
+        est.record_last_ack(sample)
+        assert est.t_wait > 0
+
+
+@given(st.floats(min_value=0.01, max_value=1.0), st.lists(st.floats(min_value=0.0, max_value=1e6), min_size=1, max_size=30))
+def test_t_wait_growth_bounded_by_doubling(alpha, samples):
+    """The 2x cap means one update multiplies t_wait by at most (1+alpha)."""
+    est = TWaitEstimator(alpha=alpha, initial=0.1)
+    for sample in samples:
+        before = est.t_wait
+        est.record_last_ack(sample)
+        assert est.t_wait <= before * (1 + alpha) + 1e-12
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(min_value=1, max_value=2000), st.integers(min_value=0, max_value=1000))
+def test_bootstrap_always_terminates(n, seed):
+    """Probing converges for every group size (including tiny ones)."""
+    rng = random.Random(seed)
+    est = GroupSizeEstimator()
+    rounds = 0
+    while not est.converged:
+        probe = est.next_round()
+        assert probe is not None
+        replies = sum(1 for _ in range(n) if rng.random() < probe.p_ack)
+        est.record_round(probe.probe_id, replies)
+        rounds += 1
+        assert rounds < 50, "bootstrap failed to converge"
+    assert est.estimate >= 1.0
+
+
+@given(
+    st.floats(min_value=1.0, max_value=10_000.0),
+    st.integers(min_value=0, max_value=500),
+    st.floats(min_value=0.001, max_value=1.0),
+)
+def test_refine_never_below_one(seeded, k_prime, p_ack):
+    est = GroupSizeEstimator()
+    est.seed(seeded)
+    est.refine(k_prime, p_ack)
+    assert est.estimate >= 1.0

@@ -1,0 +1,76 @@
+"""Property-based tests of the variable-heartbeat schedule (§2.1)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.heartbeat_math import (
+    fixed_heartbeat_count,
+    overhead_ratio,
+    variable_heartbeat_count,
+)
+from repro.core.config import HeartbeatConfig
+from repro.core.heartbeat import heartbeat_times
+
+h_mins = st.floats(min_value=0.05, max_value=2.0, allow_nan=False)
+backoffs = st.floats(min_value=1.0, max_value=5.0, allow_nan=False)
+dts = st.floats(min_value=0.01, max_value=500.0, allow_nan=False)
+
+
+def config(h_min, backoff, h_max_factor=128.0) -> HeartbeatConfig:
+    return HeartbeatConfig(h_min=h_min, h_max=h_min * h_max_factor, backoff=backoff)
+
+
+@given(h_mins, backoffs, dts)
+def test_variable_never_beats_more_than_fixed(h_min, backoff, dt):
+    """The paper's §2.1.2 claim, for all parameters."""
+    cfg = config(h_min, backoff)
+    assert variable_heartbeat_count(dt, cfg) <= fixed_heartbeat_count(dt, h_min)
+
+
+@given(h_mins, backoffs, dts)
+def test_intervals_monotone_and_capped(h_min, backoff, dt):
+    cfg = config(h_min, backoff)
+    beats = heartbeat_times(cfg, [0.0, dt])
+    if not beats:
+        return
+    gaps = [beats[0]] + [beats[i] - beats[i - 1] for i in range(1, len(beats))]
+    for i in range(1, len(gaps)):
+        assert gaps[i] >= gaps[i - 1] - 1e-9  # non-decreasing
+        assert gaps[i] <= cfg.h_max + 1e-9
+
+
+@given(h_mins, backoffs, dts)
+def test_first_beat_at_h_min(h_min, backoff, dt):
+    cfg = config(h_min, backoff)
+    beats = heartbeat_times(cfg, [0.0, dt])
+    if dt > h_min:  # exact float comparison matches the generator's preemption rule
+        assert beats and beats[0] == pytest.approx(h_min)
+    else:
+        assert beats == []
+
+
+@given(h_mins, backoffs, dts)
+def test_closed_form_matches_simulation(h_min, backoff, dt):
+    """The analysis module's count equals the schedule generator's."""
+    cfg = config(h_min, backoff)
+    analytic = variable_heartbeat_count(dt, cfg)
+    simulated = len(heartbeat_times(cfg, [0.0, dt]))
+    assert abs(analytic - simulated) <= 1  # float-edge tolerance
+
+
+@given(h_mins, st.floats(min_value=1.05, max_value=5.0), st.floats(min_value=1.05, max_value=5.0))
+def test_bigger_backoff_never_more_overhead(h_min, b1, b2):
+    """Table 1's monotonicity: larger backoff => fewer (or equal) beats."""
+    lo, hi = sorted((b1, b2))
+    dt = 120.0
+    n_lo = variable_heartbeat_count(dt, config(h_min, lo))
+    n_hi = variable_heartbeat_count(dt, config(h_min, hi))
+    assert n_hi <= n_lo
+
+
+@given(dts)
+def test_ratio_at_least_one(dt):
+    assert overhead_ratio(dt) >= 1.0

@@ -1,0 +1,75 @@
+"""Property-based hotlist tests: honest loggers survive, cheats do not."""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.hotlist import AckerHotlist
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.floats(min_value=0.02, max_value=0.5),
+    st.integers(min_value=0, max_value=10_000),
+)
+def test_honest_logger_never_quarantined(p_ack, seed):
+    """A logger volunteering exactly at the offered probability must
+    survive hundreds of epochs (false-positive guard)."""
+    rng = random.Random(seed)
+    hot = AckerHotlist()
+    for _ in range(300):
+        responders = {"honest"} if rng.random() < p_ack else set()
+        hot.record_epoch(p_ack, responders, {"honest"})
+    assert "honest" not in hot.quarantined
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.floats(min_value=0.01, max_value=0.25))
+def test_always_acker_always_caught(p_ack):
+    """Volunteering every epoch at small p_ack is always detected, fast."""
+    hot = AckerHotlist()
+    caught_after = None
+    for epoch in range(1, 64):
+        hot.record_epoch(p_ack, {"cheat"}, {"cheat"})
+        if hot.is_quarantined("cheat"):
+            caught_after = epoch
+            break
+    assert caught_after is not None
+    assert caught_after <= 32  # within one sliding window
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    st.floats(min_value=0.05, max_value=0.3),
+    st.integers(min_value=0, max_value=1000),
+    st.integers(min_value=2, max_value=20),
+)
+def test_population_fp_rate_low(p_ack, seed, n_honest):
+    """Across a whole honest population and 200 epochs, quarantines are
+    rare (allowing for the 4-sigma tail)."""
+    rng = random.Random(seed)
+    hot = AckerHotlist()
+    known = {f"l{i}" for i in range(n_honest)}
+    for _ in range(200):
+        responders = {l for l in known if rng.random() < p_ack}
+        hot.record_epoch(p_ack, responders, known)
+    assert len(hot.quarantined) <= max(1, n_honest // 10)
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(min_value=0, max_value=1000))
+def test_quarantine_is_sticky_until_forgiven(seed):
+    rng = random.Random(seed)
+    hot = AckerHotlist()
+    for _ in range(40):
+        hot.record_epoch(0.05, {"cheat"}, {"cheat"})
+    assert hot.is_quarantined("cheat")
+    # behaving well afterwards does not auto-release
+    for _ in range(100):
+        hot.record_epoch(0.05, set(), {"cheat"})
+    assert hot.is_quarantined("cheat")
+    hot.forgive("cheat")
+    assert not hot.is_quarantined("cheat")

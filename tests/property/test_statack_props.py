@@ -1,0 +1,103 @@
+"""Property-based statistical-acknowledgement invariants."""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import StatAckConfig
+from repro.core.packets import AckerResponsePacket, AckerSelectPacket, DataAckPacket
+from repro.core.retransmit import RetransmitDecision
+from repro.core.statack import StatAckPhase, StatAckSource
+
+
+def build(n_sl: float, k: int) -> StatAckSource:
+    engine = StatAckSource("g", StatAckConfig(k_ackers=k, epoch_length=10_000),
+                           rng=random.Random(0))
+    engine.seed_group_size(n_sl)
+    return engine
+
+
+def run_epoch(engine: StatAckSource, acker_names: list[str]) -> None:
+    actions = engine.start(0.0)
+    epoch = next(a.packet.epoch for a in actions if hasattr(a, "packet")
+                 and isinstance(a.packet, AckerSelectPacket))
+    for name in acker_names:
+        engine.handle(AckerResponsePacket(group="g", epoch=epoch), name, 0.01)
+    engine.poll(engine.next_wakeup())
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    st.floats(min_value=1.0, max_value=1000.0),
+    st.integers(min_value=1, max_value=30),
+    st.integers(min_value=0, max_value=30),
+)
+def test_p_ack_always_valid(n_sl, k, n_ackers):
+    """p_ack = k/N_sl clamped to (0, 1] for any estimate."""
+    engine = build(n_sl, k)
+    actions = engine.start(0.0)
+    select = next(a.packet for a in actions if hasattr(a, "packet")
+                  and isinstance(a.packet, AckerSelectPacket))
+    assert 0.0 < select.p_ack <= 1.0
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    st.integers(min_value=1, max_value=20),
+    st.integers(min_value=0, max_value=20),
+    st.floats(min_value=10.0, max_value=1000.0),
+)
+def test_decision_none_iff_all_acks(n_ackers, n_acking, n_sl):
+    """At the deadline: NONE iff no ACK is missing; a shortfall always
+    produces MULTICAST or UNICAST; missing_ackers named exactly."""
+    n_acking = min(n_acking, n_ackers)
+    engine = build(n_sl, 10)
+    names = [f"l{i}" for i in range(n_ackers)]
+    run_epoch(engine, names)
+    engine.on_data_sent(1, 1.0)
+    for name in names[:n_acking]:
+        engine.handle(DataAckPacket(group="g", epoch=engine.current_epoch, seq=1),
+                      name, 1.01)
+    _, orders = engine.poll(1.0 + 10.0)
+    if n_acking == n_ackers:
+        assert all(o.decision is RetransmitDecision.NONE for o in orders)
+    else:
+        assert len(orders) == 1
+        assert orders[0].decision in (RetransmitDecision.MULTICAST, RetransmitDecision.UNICAST)
+        assert set(orders[0].missing_ackers) == set(names[n_acking:])
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(st.floats(min_value=0.0, max_value=1.0), min_size=1, max_size=40))
+def test_t_wait_stays_positive_and_bounded(samples):
+    """However adversarial the ACK timings, t_wait stays in (0, 60]."""
+    engine = build(50.0, 10)
+    run_epoch(engine, ["a", "b"])
+    now = 1.0
+    for i, sample in enumerate(samples):
+        seq = i + 1
+        engine.on_data_sent(seq, now)
+        engine.handle(DataAckPacket(group="g", epoch=engine.current_epoch, seq=seq), "a",
+                      now + sample)
+        engine.handle(DataAckPacket(group="g", epoch=engine.current_epoch, seq=seq), "b",
+                      now + sample)
+        now += 10.0
+        engine.poll(now)
+        assert 0.0 < engine.t_wait <= 60.0
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(min_value=0, max_value=2**32 - 1))
+def test_foreign_epoch_acks_never_counted(epoch):
+    engine = build(50.0, 10)
+    run_epoch(engine, ["a"])
+    if epoch == engine.current_epoch:
+        return
+    engine.on_data_sent(1, 1.0)
+    engine.handle(DataAckPacket(group="g", epoch=epoch, seq=1), "a", 1.01)
+    _, orders = engine.poll(1.0 + 10.0)
+    # the ack was ignored: the deadline still reports a shortfall
+    assert orders and orders[0].decision is not RetransmitDecision.NONE

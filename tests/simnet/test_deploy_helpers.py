@@ -1,0 +1,59 @@
+"""Deployment experiment-hook tests (burst/crash helpers)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.simnet import DeploymentSpec, LbrmDeployment
+
+
+def make():
+    dep = LbrmDeployment(DeploymentSpec(n_sites=3, receivers_per_site=2, seed=61))
+    dep.start()
+    dep.advance(0.2)
+    return dep
+
+
+def test_burst_site_drops_whole_site():
+    dep = make()
+    dep.send(b"warm")
+    dep.advance(1.0)
+    dep.burst_site("site1", 0.1)
+    dep.send(b"lost")
+    dep.advance(0.1)  # before recovery completes
+    site1 = dep.receivers[:2]
+    others = dep.receivers[2:]
+    assert all(not rx.tracker.has(2) for rx in site1)
+    assert all(rx.tracker.has(2) for rx in others)
+    dep.advance(5.0)
+    assert dep.receivers_with(2) == len(dep.receivers)
+
+
+def test_burst_sites_plural():
+    dep = make()
+    dep.send(b"warm")
+    dep.advance(1.0)
+    dep.burst_sites(["site1", "site2"], 0.1)
+    dep.send(b"lost")
+    dep.advance(0.1)
+    assert dep.receivers_with(2) == 2  # only site3 got it live
+    dep.advance(5.0)
+    assert dep.receivers_with(2) == len(dep.receivers)
+
+
+def test_kill_site_logger():
+    dep = make()
+    dep.kill_site_logger(0)
+    dep.send(b"a")
+    dep.advance(1.0)
+    assert len(dep.site_loggers[0].log) == 0
+    assert len(dep.site_loggers[1].log) == 1
+    # site1 receivers still deliver (loss-free path) and would escalate
+    # to the primary on loss.
+    assert dep.receivers_with(1) == len(dep.receivers)
+
+
+def test_burst_unknown_site_raises():
+    dep = make()
+    with pytest.raises(KeyError):
+        dep.burst_site("site99", 0.1)

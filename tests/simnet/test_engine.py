@@ -1,0 +1,103 @@
+"""Discrete-event engine tests: ordering, cancellation, determinism."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.simnet.engine import Simulator
+
+
+def test_events_fire_in_time_order():
+    sim = Simulator()
+    fired = []
+    sim.schedule(3.0, fired.append, "c")
+    sim.schedule(1.0, fired.append, "a")
+    sim.schedule(2.0, fired.append, "b")
+    sim.run()
+    assert fired == ["a", "b", "c"]
+
+
+def test_simultaneous_events_fifo():
+    sim = Simulator()
+    fired = []
+    for tag in "abcde":
+        sim.schedule(1.0, fired.append, tag)
+    sim.run()
+    assert fired == list("abcde")
+
+
+def test_clock_advances_to_event_time():
+    sim = Simulator()
+    seen = []
+    sim.schedule(5.0, lambda: seen.append(sim.now))
+    sim.run()
+    assert seen == [5.0]
+
+
+def test_run_until_stops_and_pins_clock():
+    sim = Simulator()
+    fired = []
+    sim.schedule(1.0, fired.append, 1)
+    sim.schedule(10.0, fired.append, 10)
+    sim.run_until(5.0)
+    assert fired == [1]
+    assert sim.now == 5.0
+    sim.run_until(20.0)
+    assert fired == [1, 10]
+
+
+def test_cancel_prevents_firing():
+    sim = Simulator()
+    fired = []
+    handle = sim.schedule(1.0, fired.append, "x")
+    handle.cancel()
+    sim.run()
+    assert fired == []
+
+
+def test_schedule_in_relative():
+    sim = Simulator(start=100.0)
+    fired = []
+    sim.schedule_in(2.5, fired.append, "x")
+    sim.run()
+    assert sim.now == 102.5 and fired == ["x"]
+
+
+def test_past_schedule_clamped_to_now():
+    sim = Simulator(start=10.0)
+    fired = []
+    sim.schedule(1.0, lambda: fired.append(sim.now))
+    sim.run()
+    assert fired == [10.0]
+
+
+def test_events_scheduled_during_run():
+    sim = Simulator()
+
+    def chain(n):
+        if n > 0:
+            sim.schedule_in(1.0, chain, n - 1)
+
+    sim.schedule(0.0, chain, 5)
+    sim.run()
+    assert sim.now == 5.0
+    assert sim.processed == 6
+
+
+def test_max_events_bound():
+    sim = Simulator()
+
+    def forever():
+        sim.schedule_in(0.1, forever)
+
+    sim.schedule(0.0, forever)
+    executed = sim.run(max_events=50)
+    assert executed == 50
+
+
+def test_processed_counter():
+    sim = Simulator()
+    for i in range(7):
+        sim.schedule(float(i), lambda: None)
+    sim.run()
+    assert sim.processed == 7

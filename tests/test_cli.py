@@ -1,0 +1,39 @@
+"""CLI smoke tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_info(capsys):
+    assert main(["info"]) == 0
+    out = capsys.readouterr().out
+    assert "Log-Based Receiver-Reliable Multicast" in out
+    assert "h_min=0.25" in out
+
+
+def test_headline(capsys):
+    assert main(["headline"]) == 0
+    out = capsys.readouterr().out
+    assert "53.2x" in out
+    assert "500,000" in out
+
+
+def test_quickstart_demo(capsys):
+    assert main(["quickstart"]) == 0
+    out = capsys.readouterr().out
+    assert "delivered to 20/20" in out
+
+
+def test_unknown_command_rejected():
+    with pytest.raises(SystemExit):
+        main(["frobnicate"])
+
+
+def test_parser_lists_all_demos():
+    parser = build_parser()
+    help_text = parser.format_help()
+    for cmd in ("quickstart", "dis", "ticker", "failover", "live", "web", "headline"):
+        assert cmd in help_text
