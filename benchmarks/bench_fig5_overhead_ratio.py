@@ -2,22 +2,44 @@
 
 The marked point: at dt = 120 s (the DIS terrain update rate) the
 variable heartbeat reduces heartbeat bandwidth by a factor of ~53.
+
+Counts are *measured*, not closed-form: each (scheme, dt) pair drives
+the real :class:`VariableHeartbeatSchedule` through
+:func:`heartbeat_times` inside its own metrics-recording window and
+reads the ``heartbeat.sent`` counter from the registry.  The fixed
+scheme is the degenerate config h_max = h_min (§2.1.2).
 """
 
 from __future__ import annotations
 
 import pytest
 
-from repro.analysis.heartbeat_math import overhead_ratio
+from repro import obs
 from repro.analysis.report import format_table
 from repro.core.config import HeartbeatConfig
+from repro.core.heartbeat import heartbeat_times
 
 DTS = [0.5, 1.0, 2.0, 5.0, 10.0, 30.0, 60.0, 120.0, 300.0, 600.0, 1000.0]
 
+VARIABLE = HeartbeatConfig(h_min=0.25, h_max=32.0, backoff=2.0)
+FIXED = HeartbeatConfig(h_min=0.25, h_max=0.25, backoff=2.0)
+
+
+def measured_heartbeats(cfg: HeartbeatConfig, dt: float) -> int:
+    """Heartbeats sent between two data packets ``dt`` apart, counted
+    by the metrics registry rather than returned-list length."""
+    with obs.recording() as reg:
+        beats = heartbeat_times(cfg, [0.0, dt])
+        sent = reg.counter_value("heartbeat.sent", scheme="variable")
+        assert sent == len(beats), "registry disagrees with the schedule"
+        return sent
+
 
 def compute_series():
-    cfg = HeartbeatConfig(h_min=0.25, h_max=32.0, backoff=2.0)
-    return [(dt, overhead_ratio(dt, cfg)) for dt in DTS]
+    return [
+        (dt, measured_heartbeats(FIXED, dt) / measured_heartbeats(VARIABLE, dt))
+        for dt in DTS
+    ]
 
 
 def test_fig5_overhead_ratio(benchmark, report):

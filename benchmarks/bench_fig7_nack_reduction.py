@@ -5,12 +5,19 @@ tail circuit loses a packet for the whole site.  "Distributed logging
 cuts the number of NACKs transmitted across the tail circuit and the WAN
 from 20 (one per receiver at the site) to 1 (from the site's secondary
 logging server)" — and the primary-server load drops by the same factor.
+
+Every figure here is read from the metrics registry: WAN NACKs from the
+``simnet.packets`` mirror of the packet trace, primary load from the
+``logger.*{node=primary}`` counters.  Each run records in its own
+registry window, with a :meth:`reset` after warm-up so only the
+congestion event is measured.
 """
 
 from __future__ import annotations
 
 import pytest
 
+from repro import obs
 from repro.analysis.report import format_table
 from repro.simnet import BurstLoss, DeploymentSpec, LbrmDeployment
 
@@ -19,27 +26,46 @@ RECEIVERS = 20
 
 
 def run(secondary_loggers: bool):
-    dep = LbrmDeployment(DeploymentSpec(
-        n_sites=N_SITES, receivers_per_site=RECEIVERS,
-        secondary_loggers=secondary_loggers, seed=1995,
-    ))
-    dep.start()
-    dep.advance(0.2)
-    dep.send(b"warm-up")
-    dep.advance(1.0)
-    dep.trace.reset()
-    # Congestion on site1's incoming tail circuit: the whole site misses
-    # the next update (Figure 1's story).
-    site = dep.network.site("site1")
-    site.tail_down.loss = BurstLoss([(dep.sim.now, dep.sim.now + 0.1)])
-    dep.send(b"the update")
-    dep.advance(5.0)
-    assert dep.receivers_with(2) == len(dep.receivers), "recovery incomplete"
-    return {
-        "wan_nacks": dep.trace.cross_site_nacks(),
-        "primary_nacks": dep.primary.stats["nacks_received"],
-        "primary_retrans": dep.primary.stats["retrans_unicast"] + dep.primary.stats["retrans_multicast"],
-    }
+    # The registry must be live *before* the deployment is built:
+    # machines resolve their instruments at construction time.
+    with obs.recording() as reg:
+        dep = LbrmDeployment(DeploymentSpec(
+            n_sites=N_SITES, receivers_per_site=RECEIVERS,
+            secondary_loggers=secondary_loggers, seed=1995,
+        ))
+        dep.start()
+        dep.advance(0.2)
+        dep.send(b"warm-up")
+        dep.advance(1.0)
+        # Instruments zero in place (machines hold references), so the
+        # measurement window starts here.
+        reg.reset()
+        dep.trace.reset()
+        # Congestion on site1's incoming tail circuit: the whole site
+        # misses the next update (Figure 1's story).
+        site = dep.network.site("site1")
+        site.tail_down.loss = BurstLoss([(dep.sim.now, dep.sim.now + 0.1)])
+        dep.send(b"the update")
+        dep.advance(5.0)
+        assert dep.receivers_with(2) == len(dep.receivers), "recovery incomplete"
+
+        wan_nacks = (
+            reg.counter_value("simnet.packets", kind="rx", ptype="NACK", scope="cross")
+            + reg.counter_value("simnet.packets", kind="drop", ptype="NACK", scope="cross")
+        )
+        primary_nacks = reg.counter_value("logger.nacks_received", node="primary")
+        primary_retrans = (
+            reg.counter_value("logger.retrans_unicast", node="primary")
+            + reg.counter_value("logger.retrans_multicast", node="primary")
+        )
+        # The registry mirror must agree with the legacy in-object stats.
+        assert wan_nacks == dep.trace.cross_site_nacks()
+        assert primary_nacks == dep.primary.stats["nacks_received"]
+        return {
+            "wan_nacks": wan_nacks,
+            "primary_nacks": primary_nacks,
+            "primary_retrans": primary_retrans,
+        }
 
 
 def test_fig7_nack_reduction(benchmark, report):

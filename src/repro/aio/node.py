@@ -17,6 +17,7 @@ import asyncio
 import socket
 from typing import Callable
 
+from repro import obs
 from repro.core.actions import (
     Action,
     Deliver,
@@ -103,7 +104,10 @@ class AioNode:
         self.delivered: list[Deliver] = []
         self.delivery_queue: asyncio.Queue[Deliver] = asyncio.Queue()
         self.events: list[Event] = []
-        self.stats = {"rx": 0, "tx_unicast": 0, "tx_multicast": 0, "decode_errors": 0, "socket_errors": 0}
+        self.stats = obs.stat_counters(
+            "aio.node",
+            {"rx": 0, "tx_unicast": 0, "tx_multicast": 0, "decode_errors": 0, "socket_errors": 0},
+        )
 
     # -- introspection ----------------------------------------------------
 

@@ -16,6 +16,7 @@ from repro.analysis.heartbeat_math import (
     variable_heartbeat_count,
     variable_rate,
 )
+from repro.analysis.metrics_report import render_json, render_text, snapshot_with_trace
 from repro.analysis.report import format_comparison, format_series, format_table
 
 __all__ = [
@@ -36,4 +37,7 @@ __all__ = [
     "format_comparison",
     "format_series",
     "format_table",
+    "render_json",
+    "render_text",
+    "snapshot_with_trace",
 ]

@@ -1,0 +1,92 @@
+"""Render a :class:`~repro.obs.metrics.MetricsRegistry` snapshot.
+
+Two output shapes, both built from :meth:`MetricsRegistry.snapshot` so
+they are deterministic for a deterministic run:
+
+* :func:`render_json` — the snapshot (optionally with the event-trace
+  tail) serialized with sorted keys, for piping into other tools.
+* :func:`render_text` — an aligned human-readable report, the body of
+  ``repro metrics``.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Iterable, Sequence
+
+from repro.obs.trace import TraceEvent
+
+__all__ = ["render_json", "render_text", "snapshot_with_trace"]
+
+_HIST_COLUMNS = ("count", "mean", "p50", "p95", "p99", "max")
+
+
+def snapshot_with_trace(registry, trace_tail: int = 0) -> dict:
+    """The registry snapshot, plus the last ``trace_tail`` trace events."""
+    snap = registry.snapshot()
+    if trace_tail > 0:
+        events: Iterable[TraceEvent] = registry.trace.events()
+        tail = list(events)[-trace_tail:]
+        snap["trace"] = {
+            "emitted": registry.trace.emitted,
+            "dropped": registry.trace.dropped,
+            "tail": [event.as_dict() for event in tail],
+        }
+    return snap
+
+
+def render_json(registry, trace_tail: int = 0, indent: int | None = 2) -> str:
+    """Serialize the snapshot with sorted keys (bit-stable per run)."""
+    return json.dumps(
+        snapshot_with_trace(registry, trace_tail), indent=indent, sort_keys=True
+    )
+
+
+def _fmt(value: float | None) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        return f"{value:.6g}"
+    return str(value)
+
+
+def _aligned(rows: Sequence[tuple[str, str]]) -> list[str]:
+    if not rows:
+        return ["  (none)"]
+    width = max(len(name) for name, _ in rows)
+    return [f"  {name.ljust(width)}  {value}" for name, value in rows]
+
+
+def render_text(registry, trace_tail: int = 0) -> str:
+    """An aligned, sectioned text report of every instrument."""
+    snap = snapshot_with_trace(registry, trace_tail)
+    lines: list[str] = []
+
+    lines.append(f"counters ({len(snap['counters'])}):")
+    lines.extend(_aligned([(k, _fmt(v)) for k, v in snap["counters"].items()]))
+
+    lines.append(f"gauges ({len(snap['gauges'])}):")
+    lines.extend(_aligned([(k, _fmt(v)) for k, v in snap["gauges"].items()]))
+
+    lines.append(f"histograms ({len(snap['histograms'])}):")
+    hist_rows = []
+    for key, summary in snap["histograms"].items():
+        cells = " ".join(f"{col}={_fmt(summary[col])}" for col in _HIST_COLUMNS)
+        hist_rows.append((key, cells))
+    lines.extend(_aligned(hist_rows))
+
+    if "trace" in snap:
+        trace = snap["trace"]
+        lines.append(
+            f"trace (emitted={trace['emitted']}, dropped={trace['dropped']}, "
+            f"showing last {len(trace['tail'])}):"
+        )
+        if not trace["tail"]:
+            lines.append("  (none)")
+        for event in trace["tail"]:
+            fields = " ".join(
+                f"{k}={v}" for k, v in event.items() if k not in ("time", "name")
+            )
+            lines.append(f"  [{event['time']:.6f}] {event['name']} {fields}".rstrip())
+
+    return "\n".join(lines)

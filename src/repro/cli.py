@@ -9,6 +9,8 @@ Commands
 ``failover``   — primary-log death and replica promotion.
 ``live``       — the same protocol over real UDP multicast (loopback).
 ``headline``   — print the paper's headline numbers, recomputed live.
+``metrics``    — run a canned loss scenario with observability on and
+                 dump the metrics registry (text or JSON).
 """
 
 from __future__ import annotations
@@ -57,6 +59,48 @@ def _cmd_headline(args: argparse.Namespace) -> int:
           f"{rates.heartbeat_fraction_fixed:.0%}  (paper: 4/5)")
     print("  NACKs per site-wide loss on the WAN:        "
           "20 centralized -> 1 distributed (run `pytest benchmarks/` for the rest)")
+    return 0
+
+
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    from repro import obs
+    from repro.analysis.metrics_report import render_json, render_text
+    from repro.simnet.deploy import DeploymentSpec, LbrmDeployment
+    from repro.simnet.loss import BernoulliLoss
+
+    if args.sites < 1 or args.receivers < 1:
+        print("metrics: --sites and --receivers must be >= 1", file=sys.stderr)
+        return 2
+
+    with obs.recording() as reg:
+        # A small version of the paper's §2.2.2 world: a few sites, one
+        # tail circuit suffering a burst outage mid-stream plus one
+        # seeded flaky receiver, NACK-driven recovery from site loggers.
+        dep = LbrmDeployment(
+            DeploymentSpec(n_sites=args.sites, receivers_per_site=args.receivers, seed=args.seed)
+        )
+        dep.start()
+        if args.sites >= 2 and args.receivers >= 1:
+            dep.network.host("site2-rx0").inbound_loss = BernoulliLoss(
+                0.2, dep.streams.stream("flaky-rx")
+            )
+        dep.advance(0.5)
+        for i in range(5):
+            dep.send(f"packet-{i}".encode())
+            dep.advance(0.2)
+        dep.burst_site("site1", duration=0.5)
+        for i in range(5, 10):
+            dep.send(f"packet-{i}".encode())
+            dep.advance(0.2)
+        dep.advance(10.0)
+        if args.json:
+            print(render_json(reg, trace_tail=args.trace))
+        else:
+            print(f"scenario: {dep.spec.n_sites} sites x "
+                  f"{dep.spec.receivers_per_site} receivers, 10 packets, "
+                  f"one 0.5s tail-circuit outage (seed={dep.spec.seed})")
+            print()
+            print(render_text(reg, trace_tail=args.trace))
     return 0
 
 
@@ -109,6 +153,20 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser("headline", help="recompute the paper's headline numbers").set_defaults(
         fn=_cmd_headline
     )
+    metrics = sub.add_parser(
+        "metrics", help="run a canned loss scenario and dump the metrics registry"
+    )
+    metrics.add_argument("--json", action="store_true", help="emit JSON instead of text")
+    metrics.add_argument("--sites", type=int, default=5, help="receiver sites (default 5)")
+    metrics.add_argument(
+        "--receivers", type=int, default=4, help="receivers per site (default 4)"
+    )
+    metrics.add_argument("--seed", type=int, default=0, help="simulation seed (default 0)")
+    metrics.add_argument(
+        "--trace", type=int, default=20, metavar="N",
+        help="include the last N trace events (default 20, 0 to omit)",
+    )
+    metrics.set_defaults(fn=_cmd_metrics)
     for name, script in _DEMOS.items():
         sub.add_parser(name, help=f"run examples/{script}.py").set_defaults(fn=_cmd_demo(name))
     return parser

@@ -16,6 +16,7 @@ from __future__ import annotations
 
 from typing import Iterator, Protocol
 
+from repro import obs
 from repro.core.config import HeartbeatConfig
 
 __all__ = [
@@ -57,6 +58,9 @@ class VariableHeartbeatSchedule:
         self._config = config or HeartbeatConfig()
         self._h = self._config.h_min
         self._next: float | None = None
+        registry = obs.registry()
+        self._obs_sent = registry.counter("heartbeat.sent", scheme="variable")
+        self._obs_interval = registry.histogram("heartbeat.interval")
 
     @property
     def config(self) -> HeartbeatConfig:
@@ -76,13 +80,16 @@ class VariableHeartbeatSchedule:
         # inter-heartbeat time h to h_min."
         self._h = self._config.h_min
         self._next = now + self._h
+        self._obs_interval.observe(self._h)
         return self._next
 
     def on_heartbeat(self, now: float) -> float | None:
         # "After every subsequent heartbeat packet is sent, the value of
         # h is [multiplied by the backoff] ... until it reaches h_max."
+        self._obs_sent.inc()
         self._h = min(self._h * self._config.backoff, self._config.h_max)
         self._next = now + self._h
+        self._obs_interval.observe(self._h)
         return self._next
 
 
@@ -94,6 +101,7 @@ class FixedHeartbeatSchedule:
             raise ValueError(f"interval must be positive, got {interval}")
         self._interval = interval
         self._next: float | None = None
+        self._obs_sent = obs.registry().counter("heartbeat.sent", scheme="fixed")
 
     @property
     def interval(self) -> float:
@@ -108,6 +116,7 @@ class FixedHeartbeatSchedule:
         return self._next
 
     def on_heartbeat(self, now: float) -> float | None:
+        self._obs_sent.inc()
         self._next = now + self._interval
         return self._next
 

@@ -19,6 +19,7 @@ import struct
 from collections import OrderedDict
 from dataclasses import dataclass
 
+from repro import obs
 from repro.core.errors import LogMissError
 
 __all__ = ["LogEntry", "PacketLog"]
@@ -65,6 +66,13 @@ class PacketLog:
         self._spool_index: dict[int, tuple[int, int, float]] = {}  # seq -> (offset, len, logged_at)
         self._spool_file = None
         self._dropped = 0
+        # Process-wide totals across every PacketLog instance; per-store
+        # levels are published by the owning LogServer's labelled gauges.
+        registry = obs.registry()
+        self._obs_appended = registry.counter("log_store.appended")
+        self._obs_expired = registry.counter("log_store.expired")
+        self._obs_evicted = registry.counter("log_store.evicted")
+        self._obs_spooled = registry.counter("log_store.spooled")
         if spool_path is not None:
             self._spool_file = open(spool_path, "a+b")
 
@@ -82,10 +90,15 @@ class PacketLog:
 
     @property
     def lowest(self) -> int | None:
-        """Smallest retrievable sequence number (memory or spool)."""
+        """Smallest retrievable sequence number (memory or spool).
+
+        Entries usually arrive in sequence order, but retransmissions
+        observed on the group can append out of order — so this scans
+        keys rather than trusting insertion order.
+        """
         candidates = []
         if self._entries:
-            candidates.append(next(iter(self._entries)))
+            candidates.append(min(self._entries))
         if self._spool_index:
             candidates.append(min(self._spool_index))
         return min(candidates) if candidates else None
@@ -95,7 +108,7 @@ class PacketLog:
         """Largest retrievable sequence number."""
         candidates = []
         if self._entries:
-            candidates.append(next(reversed(self._entries)))
+            candidates.append(max(self._entries))
         if self._spool_index:
             candidates.append(max(self._spool_index))
         return max(candidates) if candidates else None
@@ -114,6 +127,7 @@ class PacketLog:
             return False
         self._entries[seq] = LogEntry(seq=seq, payload=payload, logged_at=now)
         self._byte_size += len(payload)
+        self._obs_appended.inc()
         self._enforce_caps()
         return True
 
@@ -145,7 +159,10 @@ class PacketLog:
         spool_expired = [seq for seq, (_, _, t) in self._spool_index.items() if t < cutoff]
         for seq in spool_expired:
             del self._spool_index[seq]
-        return len(expired) + len(spool_expired)
+        total = len(expired) + len(spool_expired)
+        if total:
+            self._obs_expired.inc(total)
+        return total
 
     def trim_below(self, seq: int) -> int:
         """Discard every entry with sequence < ``seq`` (e.g. after the
@@ -173,8 +190,10 @@ class PacketLog:
             self._byte_size -= len(entry.payload)
             if self._spool_file is not None:
                 self._write_spool(entry)
+                self._obs_spooled.inc()
             else:
                 self._dropped += 1
+                self._obs_evicted.inc()
 
     def _over_cap(self) -> bool:
         if self._max_packets and len(self._entries) > self._max_packets:

@@ -25,6 +25,7 @@ from __future__ import annotations
 import random
 from enum import Enum
 
+from repro import obs
 from repro.core.actions import Action, Address, JoinGroup, Notify, SendMulticast, SendUnicast
 from repro.core.config import LbrmConfig
 from repro.core.events import DesignatedAcker, PromotedToPrimary, Remulticast
@@ -132,17 +133,25 @@ class LogServer(ProtocolMachine):
         if role is LoggerRole.PRIMARY:
             self._replication = ReplicationManager(group, replicas, self._config.replication)
 
-        self.stats = {
-            "logged": 0,
-            "nacks_received": 0,
-            "retrans_unicast": 0,
-            "retrans_multicast": 0,
-            "upstream_nacks": 0,
-            "log_misses": 0,
-            "acks_sent": 0,
-            "discovery_replies": 0,
-            "probe_replies": 0,
-        }
+        registry = obs.registry()
+        self._trace = registry.trace
+        self._obs_log_packets = registry.gauge("logger.log_packets", node=addr_token)
+        self._obs_log_bytes = registry.gauge("logger.log_bytes", node=addr_token)
+        self.stats = obs.stat_counters(
+            "logger",
+            {
+                "logged": 0,
+                "nacks_received": 0,
+                "retrans_unicast": 0,
+                "retrans_multicast": 0,
+                "upstream_nacks": 0,
+                "log_misses": 0,
+                "acks_sent": 0,
+                "discovery_replies": 0,
+                "probe_replies": 0,
+            },
+            node=addr_token,
+        )
 
     # -- introspection ----------------------------------------------------
 
@@ -226,6 +235,8 @@ class LogServer(ProtocolMachine):
         report = self.tracker.observe_data(seq)
         if self.log.append(seq, payload, now):
             self.stats["logged"] += 1
+            self._obs_log_packets.set(len(self.log))
+            self._obs_log_bytes.set(self.log.byte_size)
             if self._replication is not None:
                 actions.extend(self._replication.replicate(seq, payload, now))
         # The logger itself recovers its own losses from upstream so the
@@ -292,6 +303,7 @@ class LogServer(ProtocolMachine):
             # Enough of the site lost it: one TTL-scoped re-multicast
             # replaces a pile of unicasts (§2.2.1).
             self.stats["retrans_multicast"] += 1
+            self._trace.emit(now, "logger.remulticast", seq=seq, reason="site-wide loss")
             return [
                 SendMulticast(group=self._group, packet=retrans, ttl=self._config.logger.site_ttl),
                 Notify(Remulticast(seq=seq, reason="site-wide loss")),
@@ -309,6 +321,7 @@ class LogServer(ProtocolMachine):
             len(waiting) >= self._config.logger.remulticast_threshold or seq in self._self_lost
         ):
             self.stats["retrans_multicast"] += 1
+            self._trace.emit(now, "logger.remulticast", seq=seq, reason="queued site requests")
             actions.append(
                 SendMulticast(group=self._group, packet=retrans, ttl=self._config.logger.site_ttl)
             )
@@ -376,6 +389,8 @@ class LogServer(ProtocolMachine):
         self.tracker.observe_data(packet.seq)
         if self.log.append(packet.seq, packet.payload, now):
             self.stats["logged"] += 1
+            self._obs_log_packets.set(len(self.log))
+            self._obs_log_bytes.set(self.log.byte_size)
         actions: list[Action] = [
             SendUnicast(dest=src, packet=ReplAckPacket(group=self._group, cum_seq=self._cum_seq()))
         ]
@@ -403,6 +418,7 @@ class LogServer(ProtocolMachine):
         self._role = LoggerRole.PRIMARY
         self._source = src
         self._level = 0
+        self._trace.emit(now, "logger.promoted", node=self._addr_token, from_seq=packet.from_seq)
         if self._replication is None:
             self._replication = ReplicationManager(self._group, (), self._config.replication)
         return [
@@ -428,6 +444,8 @@ class LogServer(ProtocolMachine):
         self._site_requests.sweep(now)
         if self._config.logger.packet_lifetime:
             self.log.expire(now)
+            self._obs_log_packets.set(len(self.log))
+            self._obs_log_bytes.set(self.log.byte_size)
         return actions
 
     def next_wakeup(self) -> float | None:

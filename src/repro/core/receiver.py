@@ -18,6 +18,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro import obs
 from repro.core.actions import (
     Action,
     Address,
@@ -113,17 +114,26 @@ class LbrmReceiver(ProtocolMachine):
         self._stale_since: float | None = None
         self._awaiting_primary = False
 
-        self.stats = {
-            "data_received": 0,
-            "heartbeats_received": 0,
-            "retrans_received": 0,
-            "duplicates": 0,
-            "nacks_sent": 0,
-            "losses_detected": 0,
-            "recoveries": 0,
-            "recovery_failures": 0,
-            "freshness_losses": 0,
-        }
+        # Receivers are the most numerous machines (thousands in the
+        # paper's deployments), so their registry counters aggregate
+        # across instances; per-instance numbers stay in `stats`.
+        registry = obs.registry()
+        self._trace = registry.trace
+        self._obs_recovery_latency = registry.histogram("receiver.recovery_latency")
+        self.stats = obs.stat_counters(
+            "receiver",
+            {
+                "data_received": 0,
+                "heartbeats_received": 0,
+                "retrans_received": 0,
+                "duplicates": 0,
+                "nacks_sent": 0,
+                "losses_detected": 0,
+                "recoveries": 0,
+                "recovery_failures": 0,
+                "freshness_losses": 0,
+            },
+        )
 
     # -- introspection ----------------------------------------------------
 
@@ -220,9 +230,12 @@ class LbrmReceiver(ProtocolMachine):
                 self.timers.cancel(("nack", packet.seq))
                 if recovery is not None:
                     self.stats["recoveries"] += 1
-                    actions.append(
-                        Notify(RecoveryComplete(seq=packet.seq, latency=now - recovery.detected_at))
+                    latency = now - recovery.detected_at
+                    self._obs_recovery_latency.observe(latency)
+                    self._trace.emit(
+                        now, "receiver.recovery_complete", seq=packet.seq, latency=latency
                     )
+                    actions.append(Notify(RecoveryComplete(seq=packet.seq, latency=latency)))
         else:
             self.stats["duplicates"] += 1
         actions.extend(self._begin_recovery(report.new_gaps, now, via_silence=False))
@@ -247,9 +260,12 @@ class LbrmReceiver(ProtocolMachine):
             self.timers.cancel(("nack", packet.seq))
             if recovery is not None:
                 self.stats["recoveries"] += 1
-                actions.append(
-                    Notify(RecoveryComplete(seq=packet.seq, latency=now - recovery.detected_at))
+                latency = now - recovery.detected_at
+                self._obs_recovery_latency.observe(latency)
+                self._trace.emit(
+                    now, "receiver.recovery_complete", seq=packet.seq, latency=latency
                 )
+                actions.append(Notify(RecoveryComplete(seq=packet.seq, latency=latency)))
         else:
             self.stats["duplicates"] += 1
         actions.extend(self._begin_recovery(report.new_gaps, now, via_silence=False))
@@ -288,6 +304,7 @@ class LbrmReceiver(ProtocolMachine):
         if not gaps:
             return []
         self.stats["losses_detected"] += len(gaps)
+        self._trace.emit(now, "receiver.loss_detected", seqs=gaps, via_silence=via_silence)
         actions: list[Action] = [Notify(LossDetected(seqs=gaps, via_silence=via_silence))]
         fallback = self._config.retrans_channel_fallback
         if fallback > 0:
@@ -336,6 +353,7 @@ class LbrmReceiver(ProtocolMachine):
         self._fresh = False
         self._stale_since = self._last_rx
         self.stats["freshness_losses"] += 1
+        self._trace.emit(now, "receiver.freshness_lost", idle_for=idle)
         # Silence tells the receiver *that* it may have lost packets, not
         # which — recovery begins when the next packet reveals the gap.
         return [
@@ -366,6 +384,7 @@ class LbrmReceiver(ProtocolMachine):
             for start in range(0, len(batch), NackPacket.MAX_SEQS):
                 chunk = tuple(batch[start : start + NackPacket.MAX_SEQS])
                 self.stats["nacks_sent"] += 1
+                self._trace.emit(now, "receiver.nack", target=str(target), seqs=chunk)
                 actions.append(SendUnicast(dest=target, packet=NackPacket(group=self._group, seqs=chunk)))
         return actions
 
@@ -408,6 +427,7 @@ class LbrmReceiver(ProtocolMachine):
         self.timers.cancel(("nack", recovery.seq))
         self._tracker.abandon((recovery.seq,))
         self.stats["recovery_failures"] += 1
+        self._trace.emit(now, "receiver.recovery_failed", seq=recovery.seq, attempts=recovery.attempts)
         actions: list[Action] = [Notify(RecoveryFailed(seq=recovery.seq, attempts=recovery.attempts))]
         actions.extend(self._maybe_leave_channel())
         return actions

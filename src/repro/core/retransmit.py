@@ -18,6 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from enum import Enum
 
+from repro import obs
 from repro.core.actions import Address
 from repro.core.config import LoggerConfig, StatAckConfig
 
@@ -54,11 +55,13 @@ class SourceRetransmitPolicy:
     def decide(self, missing_acks: int, expected_ackers: int, n_sl: float) -> RetransmitDecision:
         """Pick a strategy given the ACK shortfall at deadline."""
         if missing_acks <= 0 or expected_ackers <= 0:
-            return RetransmitDecision.NONE
-        sites_per_acker = n_sl / expected_ackers
-        if sites_per_acker >= self.config.sites_per_acker_multicast:
-            return RetransmitDecision.MULTICAST
-        return RetransmitDecision.UNICAST
+            decision = RetransmitDecision.NONE
+        elif n_sl / expected_ackers >= self.config.sites_per_acker_multicast:
+            decision = RetransmitDecision.MULTICAST
+        else:
+            decision = RetransmitDecision.UNICAST
+        obs.registry().counter("retransmit.decision", choice=decision.value).inc()
+        return decision
 
 
 class SiteRequestTracker:
@@ -75,6 +78,7 @@ class SiteRequestTracker:
         self._window = window
         # seq -> (window start, distinct requesters, already re-multicast?)
         self._state: dict[int, tuple[float, set[Address], bool]] = {}
+        self._obs_fired = obs.registry().counter("retransmit.site_remulticast")
 
     @property
     def threshold(self) -> int:
@@ -94,6 +98,8 @@ class SiteRequestTracker:
         threshold = 1 if self_lost else self.threshold
         should_fire = not fired and len(requesters) >= threshold
         self._state[seq] = (start, requesters, fired or should_fire)
+        if should_fire:
+            self._obs_fired.inc()
         return should_fire
 
     def requesters(self, seq: int) -> frozenset[Address]:

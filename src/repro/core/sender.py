@@ -17,6 +17,7 @@ import random
 from collections import OrderedDict
 from enum import Enum
 
+from repro import obs
 from repro.core.actions import Action, Address, Notify, SendMulticast, SendUnicast
 from repro.core.config import LbrmConfig
 from repro.core.events import PrimaryFailover, Remulticast, SourceBufferReleased
@@ -134,14 +135,22 @@ class LbrmSender(ProtocolMachine):
         self._handover_target: Address | None = None
         self._handover_pending: list[int] = []
 
-        self.stats = {
-            "data_sent": 0,
-            "heartbeats_sent": 0,
-            "remulticasts": 0,
-            "unicast_retransmits": 0,
-            "log_acks": 0,
-            "failovers": 0,
-        }
+        registry = obs.registry()
+        self._trace = registry.trace
+        self._obs_unacked = registry.gauge("sender.unacked", node=addr_token)
+        self._obs_released = registry.gauge("sender.released_up_to", node=addr_token)
+        self.stats = obs.stat_counters(
+            "sender",
+            {
+                "data_sent": 0,
+                "heartbeats_sent": 0,
+                "remulticasts": 0,
+                "unicast_retransmits": 0,
+                "log_acks": 0,
+                "failovers": 0,
+            },
+            node=addr_token,
+        )
 
     # -- introspection ----------------------------------------------------
 
@@ -214,6 +223,8 @@ class LbrmSender(ProtocolMachine):
         if self.rate_controller is not None:
             self.rate_controller.note_send(now)
         self.stats["data_sent"] += 1
+        self._obs_unacked.set(len(self._unacked))
+        self._trace.emit(now, "sender.data", seq=self._seq, epoch=epoch)
         return [SendMulticast(group=self._group, packet=packet)]
 
     # -- inbound ----------------------------------------------------------
@@ -275,10 +286,12 @@ class LbrmSender(ProtocolMachine):
             payload = self._last_payload
             if payload is not None and len(payload) <= repeat_max:
                 self.stats["data_repeats_sent"] = self.stats.get("data_repeats_sent", 0) + 1
+                self._trace.emit(now, "sender.data_repeat", seq=self._seq)
                 repeat = DataPacket(group=self._group, seq=self._seq, payload=payload, epoch=epoch)
                 return [SendMulticast(group=self._group, packet=repeat)]
         packet = HeartbeatPacket(group=self._group, seq=self._seq, hb_index=self._hb_index, epoch=epoch)
         self.stats["heartbeats_sent"] += 1
+        self._trace.emit(now, "sender.heartbeat", seq=self._seq, hb_index=self._hb_index)
         return [SendMulticast(group=self._group, packet=packet)]
 
     # -- log acknowledgement & buffer release ---------------------------------
@@ -302,6 +315,8 @@ class LbrmSender(ProtocolMachine):
             del self._unacked[seq]
             self._unacked_sent_at.pop(seq, None)
         self._released_up_to = up_to
+        self._obs_unacked.set(len(self._unacked))
+        self._obs_released.set(up_to)
         return [Notify(SourceBufferReleased(seq=up_to))]
 
     # -- statistical-acknowledgement fulfilment --------------------------------
@@ -317,6 +332,7 @@ class LbrmSender(ProtocolMachine):
             assert self._statack is not None
             self._statack.on_remulticast_sent(order.seq, now, attempts)
             self.stats["remulticasts"] += 1
+            self._trace.emit(now, "sender.remulticast", seq=order.seq, attempts=attempts)
             return [
                 SendMulticast(group=self._group, packet=packet),
                 Notify(Remulticast(seq=order.seq, reason="missing statistical ACKs")),
@@ -324,6 +340,9 @@ class LbrmSender(ProtocolMachine):
         if order.decision is RetransmitDecision.UNICAST:
             packet = RetransPacket(group=self._group, seq=order.seq, payload=payload, epoch=order.epoch)
             self.stats["unicast_retransmits"] += len(order.missing_ackers)
+            self._trace.emit(
+                now, "sender.unicast_retransmit", seq=order.seq, targets=len(order.missing_ackers)
+            )
             return [SendUnicast(dest=acker, packet=packet) for acker in order.missing_ackers]
         return []
 
@@ -380,6 +399,9 @@ class LbrmSender(ProtocolMachine):
         self._handover_target = best
         self._handover_pending = [s for s in self._unacked if s > best_cum]
         self.stats["failovers"] += 1
+        self._trace.emit(
+            now, "sender.failover", new_primary=str(best), resend=len(self._handover_pending)
+        )
         actions: list[Action] = [
             SendUnicast(dest=best, packet=PromotePacket(group=self._group, from_seq=best_cum + 1)),
             Notify(

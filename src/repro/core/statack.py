@@ -27,6 +27,7 @@ import random
 from dataclasses import dataclass, field
 from enum import Enum
 
+from repro import obs
 from repro.core.actions import Action, Address, Notify, SendMulticast
 from repro.core.config import StatAckConfig
 from repro.core.errors import StaleEpochError
@@ -116,14 +117,22 @@ class StatAckSource:
         self._active_probe: int | None = None
 
         # Counters for the benchmark harness.
-        self.stats = {
-            "epochs": 0,
-            "remulticasts": 0,
-            "unicast_retransmits": 0,
-            "acks_received": 0,
-            "acks_ignored_quarantine": 0,
-            "probes_sent": 0,
-        }
+        registry = obs.registry()
+        self._trace = registry.trace
+        self._obs_t_wait = registry.gauge("statack.t_wait", group=group)
+        self._obs_group_size = registry.gauge("statack.group_size", group=group)
+        self.stats = obs.stat_counters(
+            "statack",
+            {
+                "epochs": 0,
+                "remulticasts": 0,
+                "unicast_retransmits": 0,
+                "acks_received": 0,
+                "acks_ignored_quarantine": 0,
+                "probes_sent": 0,
+            },
+            group=group,
+        )
 
     # -- introspection ----------------------------------------------------
 
@@ -204,6 +213,7 @@ class StatAckSource:
         if self._phase is StatAckPhase.BOOTSTRAP:
             return
         self._t_wait.widen(factor=1.5)
+        self._sync_gauges()
         tracked = self._tracked.get(seq)
         if tracked is not None:
             tracked.attempts = attempts
@@ -250,6 +260,11 @@ class StatAckSource:
 
     def next_wakeup(self) -> float | None:
         return self.timers.next_deadline()
+
+    def _sync_gauges(self) -> None:
+        """Publish the RTT and group-size estimator state (§2.3.3)."""
+        self._obs_t_wait.set(self._t_wait.t_wait)
+        self._obs_group_size.set(self._estimator.estimate)
 
     # -- bootstrap probing ----------------------------------------------------
 
@@ -327,6 +342,14 @@ class StatAckSource:
         self._phase = StatAckPhase.ACTIVE
         self._packets_this_epoch = 0
         self.stats["epochs"] += 1
+        self._sync_gauges()
+        self._trace.emit(
+            now,
+            "statack.epoch",
+            epoch=self._epoch,
+            p_ack=self._epoch_p_ack,
+            ackers=len(self._designated),
+        )
         actions.append(
             Notify(
                 EpochStarted(
@@ -377,6 +400,7 @@ class StatAckSource:
             if self._epoch_p_ack > 0:
                 # Every data packet's ACK count refines N_sl (§2.3.3).
                 self._estimator.refine(len(tracked.acks), self._epoch_p_ack)
+            self._sync_gauges()
             self.timers.cancel(("ack_deadline", packet.seq))
             self.timers.cancel(("rtt_cap", packet.seq))
             del self._tracked[packet.seq]
@@ -409,6 +433,10 @@ class StatAckSource:
         elif decision is RetransmitDecision.UNICAST:
             self.stats["unicast_retransmits"] += 1
         missing_ackers = tuple(sorted(tracked.expected - tracked.acks, key=str))
+        self._sync_gauges()
+        self._trace.emit(
+            now, "statack.deadline", seq=seq, missing=missing, decision=decision.value
+        )
         if decision is RetransmitDecision.NONE:
             # Keep the entry until the rtt_cap timer for a late RTT sample.
             pass
@@ -425,3 +453,4 @@ class StatAckSource:
             self._t_wait.record_last_ack(tracked.last_ack_at - tracked.sent_at)
         else:
             self._t_wait.record_last_ack(now - tracked.sent_at)
+        self._sync_gauges()

@@ -13,6 +13,8 @@ import heapq
 import itertools
 from typing import Any, Callable
 
+from repro import obs
+
 __all__ = ["ScheduledEvent", "Simulator"]
 
 
@@ -44,6 +46,9 @@ class Simulator:
         self._queue: list[ScheduledEvent] = []
         self._tie = itertools.count()
         self._processed = 0
+        registry = obs.registry()
+        self._obs_processed = registry.counter("sim.events_processed")
+        self._obs_queue_depth = registry.gauge("sim.queue_depth")
 
     @property
     def now(self) -> float:
@@ -93,6 +98,8 @@ class Simulator:
             self._processed += 1
             executed += 1
         self._now = max(self._now, deadline)
+        self._obs_processed.inc(executed)
+        self._obs_queue_depth.set(len(self._queue))
         return executed
 
     def run(self, max_events: int = 10_000_000) -> int:
@@ -106,4 +113,6 @@ class Simulator:
             event.callback(*event.args)
             self._processed += 1
             executed += 1
+        self._obs_processed.inc(executed)
+        self._obs_queue_depth.set(len(self._queue))
         return executed

@@ -12,6 +12,7 @@ from __future__ import annotations
 from collections import Counter
 from dataclasses import dataclass
 
+from repro import obs
 from repro.core.packets import Packet, PacketType
 from repro.simnet.topology import Network
 
@@ -40,11 +41,28 @@ class PacketTrace:
         self.records: list[TraceRecord] = []
         # (kind, ptype, cross_site) -> count
         self.counts: Counter = Counter()
+        # Mirror every observation into the process registry as
+        # ``simnet.packets{kind,ptype,scope}`` so experiments can source
+        # their figures from one place.  Counters are cached per key —
+        # observe() is the hottest call in every simulation.
+        self._registry = obs.registry()
+        self._obs_counters: dict[tuple[str, int, bool], object] = {}
         network.observer = self.observe
 
     def observe(self, kind: str, packet: Packet, src: str, dst: str, now: float) -> None:
         cross = self._cross_site(src, dst)
-        self.counts[(kind, int(packet.TYPE), cross)] += 1
+        key = (kind, int(packet.TYPE), cross)
+        self.counts[key] += 1
+        counter = self._obs_counters.get(key)
+        if counter is None:
+            counter = self._registry.counter(
+                "simnet.packets",
+                kind=kind,
+                ptype=PacketType(key[1]).name,
+                scope="cross" if cross else "local",
+            )
+            self._obs_counters[key] = counter
+        counter.inc()
         if self._keep:
             seq = getattr(packet, "seq", getattr(packet, "cum_seq", 0))
             self.records.append(

@@ -1,0 +1,24 @@
+"""Shared plumbing for the real-UDP test suite."""
+
+from __future__ import annotations
+
+import socket
+
+__all__ = ["free_udp_port"]
+
+
+def free_udp_port(host: str = "127.0.0.1") -> int:
+    """A UDP port that was free a moment ago — the OS picks it (bind 0).
+
+    Used for multicast group ports, which can't be literally bound to 0
+    (every member must agree on the number in advance), so tests grab a
+    kernel-assigned free port instead of hard-coding one that may be
+    taken on a shared CI machine.
+    """
+    sock = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
+    try:
+        sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        sock.bind((host, 0))
+        return sock.getsockname()[1]
+    finally:
+        sock.close()

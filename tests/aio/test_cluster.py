@@ -10,10 +10,14 @@ from repro.aio import AioCluster, GroupDirectory
 from repro.core.config import LbrmConfig
 from repro.core.logger import LoggerRole
 
+from tests.aio._netutil import free_udp_port
+
+pytestmark = pytest.mark.network
+
 
 def _directory(tag: int) -> GroupDirectory:
     directory = GroupDirectory()
-    directory.register(GROUP, "239.255.43.%d" % tag, 42000 + tag)
+    directory.register(GROUP, "239.255.43.%d" % tag, free_udp_port())
     return directory
 
 
@@ -30,7 +34,7 @@ async def _run_delivery():
         seq = await cluster.publish(b"hello cluster")
         assert seq == 1
         for i in range(3):
-            (delivery,) = await cluster.deliveries(i, 1)
+            (delivery,) = await asyncio.wait_for(cluster.deliveries(i, 1), 3.0)
             assert delivery.payload == b"hello cluster"
         await asyncio.sleep(0.1)
         assert cluster.sender.released_up_to == 1
@@ -46,7 +50,7 @@ async def _run_replicas():
                           directory=_directory(2)) as cluster:
         await asyncio.sleep(0.1)
         await cluster.publish(b"replicated")
-        await cluster.deliveries(0, 1)
+        await asyncio.wait_for(cluster.deliveries(0, 1), 3.0)
         await asyncio.sleep(0.2)  # replication round-trips
         assert all(1 in r.log for r in cluster.replicas)
         assert all(r.role is LoggerRole.REPLICA for r in cluster.replicas)
@@ -68,7 +72,7 @@ async def _run_statack():
                           directory=_directory(3)) as cluster:
         await asyncio.sleep(0.1)
         await cluster.publish(b"x")
-        (d,) = await cluster.deliveries(0, 1)
+        (d,) = await asyncio.wait_for(cluster.deliveries(0, 1), 3.0)
         assert d.payload == b"x"
         sa = cluster.sender.statack
         assert sa is not None

@@ -12,6 +12,10 @@ from repro.core.discovery import DiscoveryClient
 from repro.core.events import LoggerDiscovered
 from repro.core.logger import LoggerRole, LogServer
 
+from tests.aio._netutil import free_udp_port
+
+pytestmark = pytest.mark.network
+
 GROUP = "test/aio/discovery"
 
 
@@ -21,7 +25,7 @@ def test_discovery_over_udp():
 
 async def _run_discovery():
     directory = GroupDirectory()
-    directory.register(GROUP, "239.255.44.1", 43001)
+    directory.register(GROUP, "239.255.44.1", free_udp_port())
     cfg = LbrmConfig()
 
     logger_node = AioNode(directory=directory)
@@ -62,7 +66,7 @@ def test_discovery_exhausts_with_no_logger():
 
 async def _run_exhaustion():
     directory = GroupDirectory()
-    directory.register(GROUP, "239.255.44.2", 43002)
+    directory.register(GROUP, "239.255.44.2", free_udp_port())
     client_node = AioNode(directory=directory)
     await client_node.start()
     client = DiscoveryClient(GROUP, DiscoveryConfig(initial_ttl=1, max_ttl=2, query_timeout=0.2),

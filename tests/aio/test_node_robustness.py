@@ -11,6 +11,10 @@ from repro.aio import AioNode, GroupDirectory
 from repro.core.config import LbrmConfig
 from repro.core.receiver import LbrmReceiver
 
+from tests.aio._netutil import free_udp_port
+
+pytestmark = pytest.mark.network
+
 GROUP = "test/aio/robust"
 
 
@@ -42,7 +46,7 @@ def test_join_is_idempotent_and_leave_unknown_is_noop():
 
 async def _run_group_lifecycle():
     directory = GroupDirectory()
-    directory.register(GROUP, "239.255.46.1", 45201)
+    directory.register(GROUP, "239.255.46.1", free_udp_port())
     node = AioNode(directory=directory)
     await node.start()
     try:

@@ -12,6 +12,10 @@ from repro.core.logger import LoggerRole, LogServer
 from repro.core.sender import LbrmSender
 from repro.core.statack import StatAckPhase
 
+from tests.aio._netutil import free_udp_port
+
+pytestmark = pytest.mark.network
+
 GROUP = "test/aio/statack"
 
 
@@ -21,7 +25,7 @@ def test_statack_full_cycle_over_udp():
 
 async def _run():
     directory = GroupDirectory()
-    directory.register(GROUP, "239.255.47.1", 46001)
+    directory.register(GROUP, "239.255.47.1", free_udp_port())
     cfg = LbrmConfig(statack=StatAckConfig(
         k_ackers=10, initial_t_wait=0.2, epoch_length=1000,
     ))

@@ -16,6 +16,10 @@ from repro.core.logger import LoggerRole, LogServer
 from repro.core.receiver import LbrmReceiver
 from repro.core.sender import LbrmSender
 
+from tests.aio._netutil import free_udp_port
+
+pytestmark = pytest.mark.network
+
 GROUP = "test/aio/e2e"
 
 
@@ -64,7 +68,7 @@ def test_multicast_delivery_and_log_ack():
 
 async def _run_multicast_delivery():
     directory = GroupDirectory()
-    directory.register(GROUP, "239.255.42.1", 41001)
+    directory.register(GROUP, "239.255.42.1", free_udp_port())
     cfg = LbrmConfig()
     (ln, logger), (sn, sender), (rn, receiver) = await _build_trio(directory, cfg)
     try:
@@ -88,13 +92,13 @@ def test_heartbeats_flow_over_udp():
 
 async def _run_heartbeats():
     directory = GroupDirectory()
-    directory.register(GROUP, "239.255.42.2", 41002)
+    directory.register(GROUP, "239.255.42.2", free_udp_port())
     cfg = LbrmConfig()
     (ln, logger), (sn, sender), (rn, receiver) = await _build_trio(directory, cfg)
     try:
         await asyncio.sleep(0.05)
         await sn.send(sender, b"x")
-        await rn.delivery_queue.get()
+        await asyncio.wait_for(rn.delivery_queue.get(), 2.0)
         await asyncio.sleep(0.4)  # h_min=0.25: at least one heartbeat
         assert receiver.stats["heartbeats_received"] >= 1
     finally:
@@ -111,7 +115,7 @@ async def _run_recovery():
     packet is sent, rejoins, and the next packet reveals the gap — NACK
     recovery then pulls the missed payload from the logger over UDP."""
     directory = GroupDirectory()
-    directory.register(GROUP, "239.255.42.3", 41003)
+    directory.register(GROUP, "239.255.42.3", free_udp_port())
     cfg = LbrmConfig()
     (ln, logger), (sn, sender), (rn, receiver) = await _build_trio(directory, cfg)
     # Faster NACK retry so the test completes quickly.

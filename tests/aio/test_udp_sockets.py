@@ -13,6 +13,10 @@ from repro.aio.udp import (
     set_multicast_ttl,
 )
 
+from tests.aio._netutil import free_udp_port
+
+pytestmark = pytest.mark.network
+
 
 def test_unicast_socket_bound_and_nonblocking():
     sock = make_unicast_socket()
@@ -37,9 +41,10 @@ def test_unicast_socket_explicit_port():
 
 
 def test_multicast_recv_socket_joined():
-    sock = make_multicast_recv_socket("239.255.45.1", 44100)
+    port = free_udp_port()
+    sock = make_multicast_recv_socket("239.255.45.1", port)
     try:
-        assert sock.getsockname()[1] == 44100
+        assert sock.getsockname()[1] == port
         assert sock.getblocking() is False
     finally:
         sock.close()
@@ -47,8 +52,9 @@ def test_multicast_recv_socket_joined():
 
 def test_two_receivers_share_group_port():
     """SO_REUSEPORT lets co-located receivers share the group port."""
-    a = make_multicast_recv_socket("239.255.45.2", 44101)
-    b = make_multicast_recv_socket("239.255.45.2", 44101)
+    port = free_udp_port()
+    a = make_multicast_recv_socket("239.255.45.2", port)
+    b = make_multicast_recv_socket("239.255.45.2", port)
     a.close()
     b.close()
 

@@ -1,0 +1,10 @@
+"""Property tests need hypothesis; skip the directory gracefully without it.
+
+hypothesis is an optional dev dependency (``pip install -e .[dev]``) —
+a bare install must still be able to run the rest of the suite.
+"""
+
+try:
+    import hypothesis  # noqa: F401
+except ImportError:  # pragma: no cover - exercised only on bare installs
+    collect_ignore_glob = ["test_*.py"]

@@ -27,6 +27,34 @@ def test_quickstart_demo(capsys):
     assert "delivered to 20/20" in out
 
 
+def test_metrics_text(capsys):
+    assert main(["metrics", "--sites", "2", "--receivers", "2", "--trace", "5"]) == 0
+    out = capsys.readouterr().out
+    assert "counters (" in out
+    assert "histograms (" in out
+    assert "receiver.recovery_latency" in out
+    assert "sender.data_sent{node=source}" in out
+    assert "trace (emitted=" in out
+
+
+def test_metrics_json(capsys):
+    import json
+
+    assert main(["metrics", "--json", "--sites", "2", "--receivers", "2"]) == 0
+    snap = json.loads(capsys.readouterr().out)
+    assert snap["counters"]["sender.data_sent{node=source}"] == 10
+    assert snap["histograms"]["receiver.recovery_latency"]["count"] > 0
+    assert snap["trace"]["emitted"] > 0
+
+
+def test_metrics_leaves_observability_off(capsys):
+    from repro import obs
+
+    assert main(["metrics", "--sites", "2", "--receivers", "2"]) == 0
+    capsys.readouterr()
+    assert not obs.registry().enabled
+
+
 def test_unknown_command_rejected():
     with pytest.raises(SystemExit):
         main(["frobnicate"])
@@ -35,5 +63,5 @@ def test_unknown_command_rejected():
 def test_parser_lists_all_demos():
     parser = build_parser()
     help_text = parser.format_help()
-    for cmd in ("quickstart", "dis", "ticker", "failover", "live", "web", "headline"):
+    for cmd in ("quickstart", "dis", "ticker", "failover", "live", "web", "headline", "metrics"):
         assert cmd in help_text
