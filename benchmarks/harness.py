@@ -1,0 +1,322 @@
+"""``repro bench`` — the machine-readable performance harness.
+
+Every scenario runs the same deterministic workload under two engine
+configurations and records throughput side by side:
+
+* ``fast``      — the timer-wheel :class:`~repro.simnet.engine.Simulator`,
+                  batched multicast fan-out, memoized packet codecs.
+* ``reference`` — the pre-wheel pure-heap engine
+                  (:class:`~repro.simnet.engine.ReferenceSimulator`),
+                  per-receiver fan-out, uncached codecs: the pre-PR
+                  baseline.
+
+Both configurations execute bit-identical protocol histories (same
+seeds, same RNG draw order, same delivery order) — the harness asserts
+scenario-specific invariants under each engine and refuses to report a
+speedup for runs that diverge.  Results are written as
+``BENCH_<scenario>.json`` files in ``benchmarks/results/`` so every PR
+leaves a perf trajectory:
+
+* ``events_per_sec`` — scenario work units (deliveries, requests) per
+  wall-clock second; the unit is engine-independent, so the fast/
+  reference ratio is a true speedup.
+* ``sim_events`` — events the engine actually executed (batching makes
+  this *smaller* for the same history).
+* ``peak_queue_depth`` — high-water mark of live pending events, read
+  from the ``sim.peak_queue_depth`` gauge in the ``repro.obs`` registry.
+
+Run via ``python -m repro bench --quick`` (or ``--full`` for
+paper-scale populations, ``--jobs N`` for multiprocessing across
+scenario runs).
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from pathlib import Path
+
+from repro import obs
+from repro.core import packets
+from repro.core.config import LbrmConfig
+from repro.core.logger import LoggerRole, LogServer
+from repro.core.packets import NackPacket
+from repro.simnet.deploy import DeploymentSpec, LbrmDeployment
+from repro.simnet.engine import ReferenceSimulator, Simulator
+
+__all__ = ["SCENARIOS", "ENGINES", "run_scenario", "write_result", "main"]
+
+RESULTS_DIR = Path(__file__).resolve().parent / "results"
+
+ENGINES = ("fast", "reference")
+
+
+class _EngineMode:
+    """Install one engine configuration process-wide for a measured run."""
+
+    def __init__(self, engine: str) -> None:
+        if engine not in ENGINES:
+            raise ValueError(f"unknown engine {engine!r}; expected one of {ENGINES}")
+        self.engine = engine
+        self.fast = engine == "fast"
+
+    def make_sim(self):
+        return Simulator() if self.fast else ReferenceSimulator()
+
+    def __enter__(self) -> "_EngineMode":
+        packets.set_codec_caches(encode=self.fast, decode=self.fast)
+        packets.clear_codec_caches()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        # The fast configuration is the process default.
+        packets.set_codec_caches(encode=True, decode=True)
+        packets.clear_codec_caches()
+
+    def configure(self, dep: LbrmDeployment) -> None:
+        dep.network.batch_delivery = self.fast
+
+
+# -- scenarios ---------------------------------------------------------------
+
+
+def _fig7_params(tier: str) -> dict:
+    if tier == "full":
+        # A long steady-state train keeps the timed region ~1s so the
+        # speedup is reproducible run to run; best-of-5 for stability.
+        return {"n_sites": 50, "receivers_per_site": 20, "data_packets": 40,
+                "spacing": 0.25, "repeats": 5}
+    return {"n_sites": 10, "receivers_per_site": 5, "data_packets": 5,
+            "spacing": 0.25, "repeats": 1}
+
+
+def scenario_fig7_nack_reduction(tier: str, engine: str) -> dict:
+    """Figure 7's world under load: site-wide loss plus steady traffic.
+
+    The timed region covers protocol start, a warm-up packet, a
+    tail-circuit burst that costs one site an update (the per-site NACK
+    collapse), NACK-driven recovery, and a steady-state packet train —
+    the last exercising exactly the timer churn (receiver watchdogs,
+    heartbeat backoff) the wheel engine exists for.  Building the
+    deployment object graph is identical under both engines and is
+    excluded: the harness measures simulation throughput, not setup.
+    """
+    p = _fig7_params(tier)
+    best = None
+    for _ in range(p["repeats"]):
+        with _EngineMode(engine) as mode, obs.recording() as reg:
+            dep = LbrmDeployment(
+                DeploymentSpec(
+                    n_sites=p["n_sites"],
+                    receivers_per_site=p["receivers_per_site"],
+                    seed=1995,
+                ),
+                sim=mode.make_sim(),
+            )
+            mode.configure(dep)
+            t0 = time.perf_counter()
+            dep.start()
+            dep.advance(0.2)
+            dep.send(b"warm-up")
+            dep.advance(1.0)
+            dep.burst_site("site1", duration=0.1)
+            dep.send(b"the update")
+            dep.advance(5.0)
+            for i in range(p["data_packets"]):
+                dep.send(f"steady-{i}".encode())
+                dep.advance(p["spacing"])
+            dep.advance(5.0)
+            wall = time.perf_counter() - t0
+            delivered = dep.network.stats["delivered"]
+            wan_nacks = dep.trace.cross_site_nacks()
+            recovered = dep.receivers_with(2)
+            run = {
+                "wall_s": wall,
+                "events": delivered,
+                "events_per_sec": delivered / wall,
+                "sim_events": dep.sim.processed,
+                "peak_queue_depth": int(reg.gauge_value("sim.peak_queue_depth")),
+                "final_queue_depth": int(reg.gauge_value("sim.queue_depth")),
+                "tombstones": dep.sim.tombstones,
+                "checks": {
+                    "wan_nacks": wan_nacks,
+                    "recovered_receivers": recovered,
+                    "delivered": delivered,
+                    "dropped": dep.network.stats["dropped"],
+                },
+            }
+        if best is None or run["wall_s"] < best["wall_s"]:
+            best = run
+    best["params"] = p
+    return best
+
+
+def _logger_params(tier: str) -> dict:
+    if tier == "full":
+        # Long enough that the fast configuration's wall time (~0.3s)
+        # is not dominated by scheduler noise; best-of-5 for stability.
+        return {"requests": 80000, "log_entries": 200, "payload": 128, "repeats": 5}
+    return {"requests": 2000, "log_entries": 200, "payload": 128, "repeats": 1}
+
+
+def scenario_logger_throughput(tier: str, engine: str) -> dict:
+    """§3's saturation test: the full decode → serve → encode request path.
+
+    Each iteration is one receiver request: encode the NACK, decode it at
+    the logger, serve it, and encode every reply packet — the complete
+    per-request codec+protocol cost a deployed logger pays.  The paper's
+    RS/6000 did one request per 630 µs; the memoized codec path is what
+    moves our number.
+    """
+    p = _logger_params(tier)
+    best = None
+    for _ in range(p["repeats"]):
+        with _EngineMode(engine):
+            logger = LogServer("g", addr_token="sec", config=LbrmConfig(),
+                               role=LoggerRole.SECONDARY)
+            payload = b"x" * p["payload"]
+            for seq in range(1, p["log_entries"] + 1):
+                logger.log.append(seq, payload, now=0.0)
+                logger.tracker.observe_data(seq)
+            served = 0
+            encoded_bytes = 0
+            t0 = time.perf_counter()
+            for i in range(p["requests"]):
+                wire = packets.encode(NackPacket(group="g", seqs=(100,)))
+                request = packets.decode(wire)
+                actions = logger.handle(request, f"rx{i % 64}", 1.0)
+                for action in actions:
+                    reply = getattr(action, "packet", None)
+                    if reply is not None:
+                        encoded_bytes += len(packets.encode(reply))
+                        served += 1
+            wall = time.perf_counter() - t0
+            run = {
+                "wall_s": wall,
+                "events": p["requests"],
+                "events_per_sec": p["requests"] / wall,
+                "per_request_us": wall * 1e6 / p["requests"],
+                "sim_events": 0,
+                "peak_queue_depth": 0,
+                "checks": {"served": served, "encoded_bytes": encoded_bytes},
+            }
+        if best is None or run["wall_s"] < best["wall_s"]:
+            best = run
+    best["params"] = p
+    return best
+
+
+def _fanout_params(tier: str) -> dict:
+    if tier == "full":
+        return {"n_sites": 50, "receivers_per_site": 20, "data_packets": 40,
+                "spacing": 0.05, "repeats": 3}
+    return {"n_sites": 10, "receivers_per_site": 5, "data_packets": 10,
+            "spacing": 0.05, "repeats": 1}
+
+
+def scenario_multicast_fanout(tier: str, engine: str) -> dict:
+    """Raw fan-out throughput: a dense packet train, no loss.
+
+    Isolates the cost the tentpole attacks: per-receiver delivery events
+    and per-packet timer churn, with recovery machinery idle.
+    """
+    p = _fanout_params(tier)
+    best = None
+    for _ in range(p["repeats"]):
+        with _EngineMode(engine) as mode, obs.recording() as reg:
+            dep = LbrmDeployment(
+                DeploymentSpec(
+                    n_sites=p["n_sites"],
+                    receivers_per_site=p["receivers_per_site"],
+                    seed=7,
+                ),
+                sim=mode.make_sim(),
+            )
+            mode.configure(dep)
+            t0 = time.perf_counter()
+            dep.start()
+            dep.advance(0.2)
+            for i in range(p["data_packets"]):
+                dep.send(f"train-{i}".encode())
+                dep.advance(p["spacing"])
+            dep.advance(2.0)
+            wall = time.perf_counter() - t0
+            delivered = dep.network.stats["delivered"]
+            run = {
+                "wall_s": wall,
+                "events": delivered,
+                "events_per_sec": delivered / wall,
+                "sim_events": dep.sim.processed,
+                "peak_queue_depth": int(reg.gauge_value("sim.peak_queue_depth")),
+                "tombstones": dep.sim.tombstones,
+                "checks": {
+                    "delivered": delivered,
+                    "all_received_last": dep.receivers_with(p["data_packets"] + 1),
+                },
+            }
+        if best is None or run["wall_s"] < best["wall_s"]:
+            best = run
+    best["params"] = p
+    return best
+
+
+SCENARIOS = {
+    "fig7_nack_reduction": scenario_fig7_nack_reduction,
+    "logger_throughput": scenario_logger_throughput,
+    "multicast_fanout": scenario_multicast_fanout,
+}
+
+
+# -- running & reporting -----------------------------------------------------
+
+
+def run_scenario(name: str, tier: str = "quick", engine: str = "fast") -> dict:
+    """Run one (scenario, engine) pair and return its metrics dict."""
+    try:
+        fn = SCENARIOS[name]
+    except KeyError:
+        raise ValueError(f"unknown scenario {name!r}; have {sorted(SCENARIOS)}") from None
+    return fn(tier, engine)
+
+
+def assemble_result(name: str, tier: str, engine_runs: dict[str, dict]) -> dict:
+    """Combine per-engine runs into one BENCH record (with speedup)."""
+    result = {
+        "scenario": name,
+        "tier": tier,
+        "python": sys.version.split()[0],
+        "engines": engine_runs,
+    }
+    fast = engine_runs.get("fast")
+    ref = engine_runs.get("reference")
+    if fast and ref:
+        if fast["checks"] != ref["checks"]:
+            raise AssertionError(
+                f"{name}: engines diverged — fast={fast['checks']} reference={ref['checks']}"
+            )
+        result["speedup"] = ref["wall_s"] / fast["wall_s"]
+        result["events_per_sec_ratio"] = (
+            fast["events_per_sec"] / ref["events_per_sec"]
+        )
+    return result
+
+
+def write_result(result: dict, out_dir: Path | str = RESULTS_DIR) -> Path:
+    out_dir = Path(out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    path = out_dir / f"BENCH_{result['scenario']}.json"
+    path.write_text(json.dumps(result, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Standalone entry point (``python benchmarks/harness.py``)."""
+    from repro.benchrunner import build_bench_parser, run_bench
+
+    args = build_bench_parser().parse_args(argv)
+    return run_bench(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,128 @@
+"""Runner for the ``repro bench`` CLI command.
+
+The scenario definitions live outside the package in
+``benchmarks/harness.py`` (they are experiment scripts, like the
+figure benchmarks); this module loads that file by path, fans scenario
+runs out across processes when asked, and writes the ``BENCH_*.json``
+artifacts.  It lives inside the package so worker functions are
+importable by name in ``multiprocessing`` children.
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib.util
+import pathlib
+import sys
+
+__all__ = ["build_bench_parser", "run_bench", "load_harness"]
+
+_HARNESS_CACHE: dict[str, object] = {}
+
+
+def default_harness_path() -> pathlib.Path:
+    root = pathlib.Path(__file__).resolve().parents[2]
+    return root / "benchmarks" / "harness.py"
+
+
+def load_harness(path: str | pathlib.Path | None = None):
+    """Import ``benchmarks/harness.py`` by path (cached per path)."""
+    path = str(path or default_harness_path())
+    module = _HARNESS_CACHE.get(path)
+    if module is None:
+        spec = importlib.util.spec_from_file_location("repro_bench_harness", path)
+        if spec is None or spec.loader is None:
+            raise FileNotFoundError(f"benchmark harness not found: {path}")
+        module = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(module)
+        _HARNESS_CACHE[path] = module
+    return module
+
+
+def _run_one(harness_path: str, name: str, tier: str, engine: str) -> tuple[str, str, dict]:
+    """Worker entry point: one (scenario, engine) run in this process."""
+    harness = load_harness(harness_path)
+    return name, engine, harness.run_scenario(name, tier=tier, engine=engine)
+
+
+def build_bench_parser(parser: argparse.ArgumentParser | None = None) -> argparse.ArgumentParser:
+    if parser is None:
+        parser = argparse.ArgumentParser(
+            prog="repro bench", description="LBRM performance harness"
+        )
+    tier = parser.add_mutually_exclusive_group()
+    tier.add_argument("--quick", dest="tier", action="store_const", const="quick",
+                      help="small populations, one repeat (default)")
+    tier.add_argument("--full", dest="tier", action="store_const", const="full",
+                      help="paper-scale populations, best of three repeats")
+    parser.set_defaults(tier="quick")
+    parser.add_argument("--only", metavar="NAME[,NAME...]", default=None,
+                        help="run only these scenarios (comma separated)")
+    parser.add_argument("--engine", choices=["both", "fast", "reference"], default="both",
+                        help="engine configurations to measure (default both, "
+                             "which also records the fast/reference speedup)")
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="run scenario measurements across N processes")
+    parser.add_argument("--out", metavar="DIR", default=None,
+                        help="output directory for BENCH_*.json "
+                             "(default benchmarks/results/)")
+    parser.add_argument("--harness", metavar="PATH", default=None,
+                        help=argparse.SUPPRESS)
+    return parser
+
+
+def run_bench(args: argparse.Namespace) -> int:
+    harness_path = str(args.harness or default_harness_path())
+    try:
+        harness = load_harness(harness_path)
+    except FileNotFoundError as exc:
+        print(f"bench: {exc}", file=sys.stderr)
+        return 1
+
+    names = list(harness.SCENARIOS)
+    if args.only:
+        names = [n.strip() for n in args.only.split(",") if n.strip()]
+        unknown = [n for n in names if n not in harness.SCENARIOS]
+        if unknown:
+            print(f"bench: unknown scenario(s) {unknown}; "
+                  f"have {sorted(harness.SCENARIOS)}", file=sys.stderr)
+            return 2
+    engines = ["fast", "reference"] if args.engine == "both" else [args.engine]
+    out_dir = pathlib.Path(args.out) if args.out else harness.RESULTS_DIR
+
+    jobs = [(name, engine) for name in names for engine in engines]
+    runs: dict[str, dict[str, dict]] = {name: {} for name in names}
+    if args.jobs > 1 and len(jobs) > 1:
+        import concurrent.futures
+
+        with concurrent.futures.ProcessPoolExecutor(max_workers=args.jobs) as pool:
+            futures = [
+                pool.submit(_run_one, harness_path, name, args.tier, engine)
+                for name, engine in jobs
+            ]
+            for future in concurrent.futures.as_completed(futures):
+                name, engine, run = future.result()
+                runs[name][engine] = run
+    else:
+        for name, engine in jobs:
+            _, _, run = _run_one(harness_path, name, args.tier, engine)
+            runs[name][engine] = run
+
+    failures = 0
+    for name in names:
+        try:
+            result = harness.assemble_result(name, args.tier, runs[name])
+        except AssertionError as exc:
+            print(f"bench: FAILED {exc}", file=sys.stderr)
+            failures += 1
+            continue
+        path = harness.write_result(result, out_dir)
+        line = f"bench {name} [{args.tier}]"
+        for engine in engines:
+            run = runs[name][engine]
+            line += f"  {engine}: {run['events_per_sec']:,.0f} ev/s ({run['wall_s']:.3f}s)"
+        if "speedup" in result:
+            line += f"  speedup: {result['speedup']:.2f}x"
+        print(line)
+        print(f"  -> {path}")
+    return 1 if failures else 0

@@ -11,6 +11,8 @@ Commands
 ``headline``   — print the paper's headline numbers, recomputed live.
 ``metrics``    — run a canned loss scenario with observability on and
                  dump the metrics registry (text or JSON).
+``bench``      — run the performance harness (fast vs reference engine)
+                 and write machine-readable ``BENCH_*.json`` results.
 """
 
 from __future__ import annotations
@@ -167,6 +169,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="include the last N trace events (default 20, 0 to omit)",
     )
     metrics.set_defaults(fn=_cmd_metrics)
+    from repro.benchrunner import build_bench_parser, run_bench
+
+    bench = sub.add_parser(
+        "bench", help="run the perf harness and write BENCH_*.json results"
+    )
+    build_bench_parser(bench)
+    bench.set_defaults(fn=run_bench)
     for name, script in _DEMOS.items():
         sub.add_parser(name, help=f"run examples/{script}.py").set_defaults(fn=_cmd_demo(name))
     return parser

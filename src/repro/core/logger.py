@@ -109,7 +109,9 @@ class LogServer(ProtocolMachine):
         self._parent = parent
         self._source = source
         self._level = level
-        self._rng = rng or random.Random()
+        # Deterministic default (str seeds hash stably): volunteer coins
+        # and jitter repeat identically run to run.
+        self._rng = rng or random.Random("repro.core.logger")
 
         log_cfg = self._config.logger
         self.log = PacketLog(
@@ -122,6 +124,8 @@ class LogServer(ProtocolMachine):
         self._site_requests = SiteRequestTracker(log_cfg)
         # seq -> requesters waiting for a packet we do not hold yet.
         self._pending: dict[int, set[Address]] = {}
+        # seq -> shared frozen RetransPacket for repeat repairs.
+        self._retrans_memo: dict[int, RetransPacket] = {}
         # seq -> upstream retries performed so far.
         self._upstream_retries: dict[int, int] = {}
         # Sequences this server itself had to fetch from upstream.
@@ -286,12 +290,20 @@ class LogServer(ProtocolMachine):
                 self.stats["log_misses"] += 1
                 self._pending.setdefault(seq, set()).add(src)
                 upstream_needed.append(seq)
-        actions.extend(self._request_upstream(tuple(upstream_needed), now))
+        if upstream_needed:
+            actions.extend(self._request_upstream(tuple(upstream_needed), now))
         return actions
 
     def _repair(self, seq: int, requester: Address, now: float) -> list[Action]:
         entry = self.log.get(seq, now)
-        retrans = RetransPacket(group=self._group, seq=seq, payload=entry.payload)
+        # Popular packets (a site-wide loss) are requested many times;
+        # RetransPacket is frozen, so one instance per log entry serves
+        # every requester.  The payload identity check guards against a
+        # re-logged entry after expiry.
+        retrans = self._retrans_memo.get(seq)
+        if retrans is None or retrans.payload is not entry.payload:
+            retrans = RetransPacket(group=self._group, seq=seq, payload=entry.payload)
+            self._retrans_memo[seq] = retrans
         # The TTL-scoped re-multicast only helps a SECONDARY repairing its
         # own site; a primary's requesters are on other sites, beyond any
         # site-local scope, so it always unicasts (group-wide re-multicast

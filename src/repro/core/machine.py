@@ -36,20 +36,35 @@ class TimerSet:
 
     def __init__(self) -> None:
         self._deadlines: dict[Hashable, float] = {}
+        # Cached earliest deadline; None means "recompute on next read".
+        # next_deadline() runs after every packet on every machine, so it
+        # cannot afford a min() over the dict each time.
+        self._min: float | None = None
 
     def set(self, key: Hashable, deadline: float) -> None:
         """Arm (or re-arm) the timer ``key`` to fire at ``deadline``."""
+        old = self._deadlines.get(key)
         self._deadlines[key] = deadline
+        cached = self._min
+        if cached is not None:
+            if deadline <= cached:
+                self._min = deadline
+            elif old == cached:
+                self._min = None  # may have re-armed the earliest timer later
 
     def cancel(self, key: Hashable) -> None:
         """Disarm ``key``; no-op if not armed."""
-        self._deadlines.pop(key, None)
+        removed = self._deadlines.pop(key, None)
+        if removed is not None and removed == self._min:
+            self._min = None
 
     def cancel_prefix(self, prefix: tuple) -> None:
         """Disarm every tuple-key starting with ``prefix``."""
         doomed = [k for k in self._deadlines if isinstance(k, tuple) and k[: len(prefix)] == prefix]
         for key in doomed:
             del self._deadlines[key]
+        if doomed:
+            self._min = None
 
     def deadline(self, key: Hashable) -> float | None:
         """Deadline for ``key``, or None if not armed."""
@@ -63,13 +78,18 @@ class TimerSet:
         )
         for key in due:
             del self._deadlines[key]
+        if due:
+            self._min = None
         return due
 
     def next_deadline(self) -> float | None:
         """Earliest armed deadline, or None when no timers are armed."""
         if not self._deadlines:
             return None
-        return min(self._deadlines.values())
+        cached = self._min
+        if cached is None:
+            cached = self._min = min(self._deadlines.values())
+        return cached
 
     def __len__(self) -> int:
         return len(self._deadlines)

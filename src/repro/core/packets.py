@@ -29,6 +29,7 @@ from dataclasses import dataclass, fields
 from enum import IntEnum
 from typing import Callable, ClassVar, Type, TypeVar
 
+from repro import obs
 from repro.core.errors import DecodeError, EncodeError
 
 __all__ = [
@@ -54,7 +55,12 @@ __all__ = [
     "ReplStatusQueryPacket",
     "encode",
     "decode",
+    "encode_uncached",
+    "decode_uncached",
     "register_packet",
+    "codec_cache_stats",
+    "clear_codec_caches",
+    "set_codec_caches",
 ]
 
 _MAGIC = b"LB"
@@ -580,14 +586,14 @@ class ReplStatusQueryPacket(Packet):
         return cls(group=group)
 
 
-def encode(packet: Packet) -> bytes:
-    """Serialize ``packet`` to its wire representation."""
+def encode_uncached(packet: Packet) -> bytes:
+    """Serialize ``packet`` to its wire representation (no memoization)."""
     header = _HEADER.pack(_MAGIC, _VERSION, int(packet.TYPE))
     return header + _pack_str(packet.group) + packet.encode_body()
 
 
-def decode(data: bytes) -> Packet:
-    """Parse a datagram back into a packet object.
+def decode_uncached(data: bytes) -> Packet:
+    """Parse a datagram back into a packet object (no memoization).
 
     Raises :class:`~repro.core.errors.DecodeError` on any malformed
     input; transports should count and drop such datagrams rather than
@@ -607,3 +613,149 @@ def decode(data: bytes) -> Packet:
     view = memoryview(data)
     group, offset = _unpack_str(view, _HEADER.size)
     return cls.decode_body(group, view[offset:])
+
+
+class _CodecCache:
+    """Bounded FIFO memo for one codec direction, with obs accounting.
+
+    Safe because packets are frozen (hashable, immutable) dataclasses
+    and wire strings are ``bytes``: a memoized result can never drift
+    from what the uncached path would produce.  Hit/miss counts mirror
+    into ``packets.<name>_cache{result=...}`` whenever a recording
+    registry is installed; counters re-resolve when the installed
+    registry changes (one identity check per call).
+    """
+
+    __slots__ = ("name", "max_entries", "entries", "hits", "misses", "enabled",
+                 "_reg", "_mirror", "_hit_ctr", "_miss_ctr")
+
+    def __init__(self, name: str, max_entries: int = 4096) -> None:
+        self.name = name
+        self.max_entries = max_entries
+        self.entries: dict = {}
+        self.hits = 0
+        self.misses = 0
+        self.enabled = True
+        self._reg = None
+        self._mirror = False  # skip no-op counter calls off-recording
+        self._hit_ctr = None
+        self._miss_ctr = None
+
+    def _resolve(self) -> None:
+        reg = obs.registry()
+        self._reg = reg
+        self._mirror = reg.enabled
+        self._hit_ctr = reg.counter(f"packets.{self.name}_cache", result="hit")
+        self._miss_ctr = reg.counter(f"packets.{self.name}_cache", result="miss")
+
+    def hit(self) -> None:
+        self.hits += 1
+        if obs.registry() is not self._reg:
+            self._resolve()
+        if self._mirror:
+            self._hit_ctr.inc()
+
+    def miss(self, key, value) -> None:
+        self.misses += 1
+        if obs.registry() is not self._reg:
+            self._resolve()
+        if self._mirror:
+            self._miss_ctr.inc()
+        entries = self.entries
+        if len(entries) >= self.max_entries:
+            del entries[next(iter(entries))]
+        entries[key] = value
+
+    def clear(self) -> None:
+        self.entries.clear()
+        self.hits = 0
+        self.misses = 0
+
+
+_ENCODE_CACHE = _CodecCache("encode")
+_DECODE_CACHE = _CodecCache("decode")
+
+
+def encode(packet: Packet) -> bytes:
+    """Serialize ``packet``, memoized per (frozen) packet value.
+
+    A multicast transmission encodes its packet once no matter the
+    fan-out, and the asyncio UDP path re-sends identical heartbeats and
+    retransmissions for free.
+    """
+    cache = _ENCODE_CACHE
+    if not cache.enabled:
+        return encode_uncached(packet)
+    wire = cache.entries.get(packet)
+    if wire is not None:
+        # hit() inlined: this is the hottest line in a multicast send.
+        cache.hits += 1
+        if obs.registry() is not cache._reg:
+            cache._resolve()
+        if cache._mirror:
+            cache._hit_ctr.inc()
+        return wire
+    wire = encode_uncached(packet)
+    cache.miss(packet, wire)
+    return wire
+
+
+def decode(data: bytes) -> Packet:
+    """Parse a datagram into a packet object, memoized per wire string.
+
+    Identical datagrams (retransmission floods, repeated heartbeats)
+    decode once and return the shared frozen packet instance.  Malformed
+    input raises :class:`~repro.core.errors.DecodeError` and is never
+    cached.
+    """
+    cache = _DECODE_CACHE
+    if not cache.enabled:
+        return decode_uncached(data)
+    packet = cache.entries.get(data)
+    if packet is not None:
+        cache.hits += 1
+        if obs.registry() is not cache._reg:
+            cache._resolve()
+        if cache._mirror:
+            cache._hit_ctr.inc()
+        return packet
+    packet = decode_uncached(data)
+    cache.miss(bytes(data), packet)
+    return packet
+
+
+def codec_cache_stats() -> dict:
+    """Hit/miss/size accounting for both codec memos (for tests/benchmarks)."""
+    return {
+        "encode": {
+            "hits": _ENCODE_CACHE.hits,
+            "misses": _ENCODE_CACHE.misses,
+            "size": len(_ENCODE_CACHE.entries),
+            "enabled": _ENCODE_CACHE.enabled,
+        },
+        "decode": {
+            "hits": _DECODE_CACHE.hits,
+            "misses": _DECODE_CACHE.misses,
+            "size": len(_DECODE_CACHE.entries),
+            "enabled": _DECODE_CACHE.enabled,
+        },
+    }
+
+
+def clear_codec_caches() -> None:
+    """Drop all memoized encodings/decodings and zero the counters."""
+    _ENCODE_CACHE.clear()
+    _DECODE_CACHE.clear()
+
+
+def set_codec_caches(encode: bool | None = None, decode: bool | None = None) -> None:
+    """Enable/disable the codec memos (the benchmark harness's baseline
+    mode turns them off to measure the pre-memoization path)."""
+    if encode is not None:
+        _ENCODE_CACHE.enabled = encode
+        if not encode:
+            _ENCODE_CACHE.clear()
+    if decode is not None:
+        _DECODE_CACHE.enabled = decode
+        if not decode:
+            _DECODE_CACHE.clear()

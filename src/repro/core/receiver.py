@@ -51,6 +51,8 @@ from repro.core.sequence import SequenceTracker
 
 __all__ = ["LbrmReceiver"]
 
+_MAXIT = ("maxit",)  # timer key, hoisted off the per-packet path
+
 
 @dataclass
 class _Recovery:
@@ -113,6 +115,9 @@ class LbrmReceiver(ProtocolMachine):
         self._fresh = True
         self._stale_since: float | None = None
         self._awaiting_primary = False
+        # min(h_min·backoff^i, h_max) per heartbeat index, memoized:
+        # every arriving packet re-reads its index's interval.
+        self._hb_intervals: dict[int, float] = {}
 
         # Receivers are the most numerous machines (thousands in the
         # paper's deployments), so their registry counters aggregate
@@ -173,10 +178,15 @@ class LbrmReceiver(ProtocolMachine):
 
     def _next_heartbeat_interval(self, hb_index: int) -> float:
         """Interval until the sender's next heartbeat given its schedule."""
-        if self._heartbeat is None:
-            return self._config.max_idle_time
-        hb = self._heartbeat
-        return min(hb.h_min * hb.backoff**hb_index, hb.h_max)
+        interval = self._hb_intervals.get(hb_index)
+        if interval is None:
+            if self._heartbeat is None:
+                interval = self._config.max_idle_time
+            else:
+                hb = self._heartbeat
+                interval = min(hb.h_min * hb.backoff**hb_index, hb.h_max)
+            self._hb_intervals[hb_index] = interval
+        return interval
 
     def set_logger_chain(self, chain: tuple[Address, ...]) -> None:
         """Install (or replace) the recovery chain, nearest logger first."""
@@ -206,8 +216,9 @@ class LbrmReceiver(ProtocolMachine):
         return []
 
     def _on_data(self, packet: DataPacket, now: float) -> list[Action]:
-        already_highest = self._tracker.started and packet.seq == self._tracker.highest
-        report = self._tracker.observe_data(packet.seq)
+        tracker = self._tracker
+        already_highest = tracker.started and packet.seq == tracker.highest
+        report = tracker.observe_data(packet.seq)
         if report.is_new:
             self._repeat_count = 0
             self._expected_interval = self._next_heartbeat_interval(0)
@@ -238,8 +249,10 @@ class LbrmReceiver(ProtocolMachine):
                     actions.append(Notify(RecoveryComplete(seq=packet.seq, latency=latency)))
         else:
             self.stats["duplicates"] += 1
-        actions.extend(self._begin_recovery(report.new_gaps, now, via_silence=False))
-        actions.extend(self._maybe_leave_channel())
+        if report.new_gaps:
+            actions.extend(self._begin_recovery(report.new_gaps, now, via_silence=False))
+        if self._on_channel:
+            actions.extend(self._maybe_leave_channel())
         return actions
 
     def _on_heartbeat(self, packet: HeartbeatPacket, now: float) -> list[Action]:
@@ -247,7 +260,8 @@ class LbrmReceiver(ProtocolMachine):
         actions = self._liveness(now)
         self.stats["heartbeats_received"] += 1
         report = self._tracker.observe_heartbeat(packet.seq)
-        actions.extend(self._begin_recovery(report.new_gaps, now, via_silence=False))
+        if report.new_gaps:
+            actions.extend(self._begin_recovery(report.new_gaps, now, via_silence=False))
         return actions
 
     def _on_retrans(self, packet: RetransPacket, now: float) -> list[Action]:
@@ -268,8 +282,10 @@ class LbrmReceiver(ProtocolMachine):
                 actions.append(Notify(RecoveryComplete(seq=packet.seq, latency=latency)))
         else:
             self.stats["duplicates"] += 1
-        actions.extend(self._begin_recovery(report.new_gaps, now, via_silence=False))
-        actions.extend(self._maybe_leave_channel())
+        if report.new_gaps:
+            actions.extend(self._begin_recovery(report.new_gaps, now, via_silence=False))
+        if self._on_channel:
+            actions.extend(self._maybe_leave_channel())
         return actions
 
     def _on_primary_info(self, packet: PrimaryInfoPacket, now: float) -> list[Action]:
@@ -291,7 +307,7 @@ class LbrmReceiver(ProtocolMachine):
 
     def _liveness(self, now: float) -> list[Action]:
         self._last_rx = now
-        self.timers.set(("maxit",), now + self._watchdog_timeout())
+        self.timers.set(_MAXIT, now + self._watchdog_timeout())
         if self._fresh:
             return []
         self._fresh = True
@@ -300,6 +316,8 @@ class LbrmReceiver(ProtocolMachine):
         return [Notify(FreshnessRestored(silent_for=silent))]
 
     def _begin_recovery(self, gaps: tuple[int, ...], now: float, via_silence: bool) -> list[Action]:
+        if not gaps:  # the per-packet common case: nothing newly missing
+            return []
         gaps = tuple(s for s in gaps if s not in self._recoveries)
         if not gaps:
             return []

@@ -91,14 +91,19 @@ class SiteRequestTracker:
         from upstream — strong evidence the loss hit the whole site, so
         the threshold drops to a single request.
         """
-        start, requesters, fired = self._state.get(seq, (now, set(), False))
-        if now - start > self._window:
-            start, requesters, fired = now, set(), False
+        state = self._state.get(seq)
+        if state is None or now - state[0] > self._window:
+            start: float = now
+            requesters: set[Address] = set()
+            fired = False
+            self._state[seq] = (start, requesters, fired)
+        else:
+            start, requesters, fired = state
         requesters.add(requester)
         threshold = 1 if self_lost else self.threshold
         should_fire = not fired and len(requesters) >= threshold
-        self._state[seq] = (start, requesters, fired or should_fire)
         if should_fire:
+            self._state[seq] = (start, requesters, True)
             self._obs_fired.inc()
         return should_fire
 

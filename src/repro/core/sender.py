@@ -98,7 +98,10 @@ class LbrmSender(ProtocolMachine):
         self._primary = primary
         self._replicas = tuple(replicas)
         self._addr_token = addr_token
-        self._rng = rng or random.Random()
+        # String-seeded: deterministic run to run without an explicit
+        # RNG (str seeds hash stably), and sans-IO core stays free of
+        # simulator imports.
+        self._rng = rng or random.Random("repro.core.sender")
 
         self._seq = 0
         self._hb_index = 0

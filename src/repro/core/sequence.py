@@ -34,6 +34,14 @@ class GapReport:
     filled_gap: bool = False
 
 
+# GapReport is frozen, so the no-gap outcomes — the per-packet common
+# case — are shared instances instead of a fresh (slow, via
+# object.__setattr__) dataclass construction per observation.
+_NEW = GapReport(is_new=True)
+_NEW_FILLED = GapReport(is_new=True, filled_gap=True)
+_OLD = GapReport(is_new=False)
+
+
 class SequenceTracker:
     """Tracks the per-flow sequence space at a receiver or logger.
 
@@ -87,21 +95,24 @@ class SequenceTracker:
         if not self.started:
             self._first = seq
             self._highest = seq
-            return GapReport(is_new=True)
+            return _NEW
         if seq > self._highest:
+            if seq == self._highest + 1:
+                self._highest = seq
+                return _NEW
             gaps = tuple(range(self._highest + 1, seq))
             self._missing.update(gaps)
             self._highest = seq
             return GapReport(is_new=True, new_gaps=gaps)
         if seq in self._missing:
             self._missing.discard(seq)
-            return GapReport(is_new=True, filled_gap=True)
+            return _NEW_FILLED
         if seq in self._abandoned:
             # Late arrival after the receiver gave up: still fresh data.
             self._abandoned.discard(seq)
-            return GapReport(is_new=True, filled_gap=True)
+            return _NEW_FILLED
         self._duplicates += 1
-        return GapReport(is_new=False)
+        return _OLD
 
     def observe_heartbeat(self, seq: int) -> GapReport:
         """Record a heartbeat repeating the source's last data sequence.
@@ -118,7 +129,7 @@ class SequenceTracker:
         if seq < 0:
             raise ValueError(f"heartbeat sequence must be >= 0, got {seq}")
         if seq == 0:
-            return GapReport(is_new=False)
+            return _OLD
         if not self.started:
             # Joined mid-stream during an idle period: baseline at seq,
             # and seq itself is missing (we never got its data).
@@ -131,7 +142,7 @@ class SequenceTracker:
             self._missing.update(gaps)
             self._highest = seq
             return GapReport(is_new=False, new_gaps=gaps)
-        return GapReport(is_new=False)
+        return _OLD
 
     def abandon(self, seqs: Iterable[int]) -> None:
         """Stop tracking ``seqs`` as missing (recovery given up or data

@@ -94,7 +94,9 @@ class StatAckSource:
     ) -> None:
         self._group = group
         self._config = config or StatAckConfig()
-        self._rng = rng or random.Random()
+        # Deterministic default (str seeds hash stably): acker selection
+        # is reproducible even when no RNG is threaded in.
+        self._rng = rng or random.Random("repro.core.statack")
         self._policy = SourceRetransmitPolicy(self._config)
         self._estimator = estimator or GroupSizeEstimator(alpha=self._config.alpha)
         self._t_wait = TWaitEstimator(alpha=self._config.alpha, initial=self._config.initial_t_wait)

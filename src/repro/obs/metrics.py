@@ -407,4 +407,9 @@ class StatCounters(dict):
         delta = value - dict.get(self, key, 0)
         dict.__setitem__(self, key, value)
         if delta:
-            self._instrument(key).inc(delta)
+            # _instrument() inlined for the hit case: stats increments
+            # run several times per delivered packet.
+            instrument = self._instruments.get(key)
+            if instrument is None:
+                instrument = self._instrument(key)
+            instrument.value += delta

@@ -1,27 +1,48 @@
 """Deterministic discrete-event simulation engine.
 
-A minimal, fast event loop: a heap of ``(time, tie, callback)`` entries
-with stable FIFO ordering for simultaneous events and O(1) cancellation
-by tombstone.  Every benchmark and integration test in this repository
-runs on this engine with a seeded RNG, so results are bit-for-bit
-reproducible.
+Two implementations of the same contract:
+
+* :class:`Simulator` — the fast path: a timer wheel staging near-future
+  events in O(1) buckets in front of a binary heap, with periodic
+  tombstone compaction.  This is what every benchmark and deployment
+  uses.
+* :class:`ReferenceSimulator` — the original pure-heap engine, kept as
+  the executable specification.  Property tests drive both with random
+  schedule/cancel/reschedule interleavings and assert identical
+  execution orders; the benchmark harness uses it as the pre-wheel
+  baseline.
+
+The ordering contract both implement: events execute in ``(time, tie)``
+order, where ``tie`` is a monotone counter assigned at schedule time —
+so simultaneous events run FIFO, and two runs issuing the same schedule
+calls execute bit-identically.
+
+Why a wheel?  Protocol machines cancel and reschedule short-horizon
+timers constantly (heartbeat backoff, receiver watchdogs, NACK
+suppression): under the pure heap every one of those is an O(log n)
+push whose shell later surfaces as a tombstone pop.  The wheel makes
+near-future schedule *and* cancel O(1) — a cancelled entry dies in its
+bucket as a dead list slot, never touching the heap.  Only events that
+survive to their slot's turn pay the heap push, and far-future events
+(beyond the wheel horizon) fall back to the heap directly.
 """
 
 from __future__ import annotations
 
 import heapq
 import itertools
+import math
 from typing import Any, Callable
 
 from repro import obs
 
-__all__ = ["ScheduledEvent", "Simulator"]
+__all__ = ["ScheduledEvent", "Simulator", "ReferenceSimulator"]
 
 
 class ScheduledEvent:
     """Handle to a scheduled callback; cancellable until it fires."""
 
-    __slots__ = ("time", "tie", "callback", "args", "cancelled")
+    __slots__ = ("time", "tie", "callback", "args", "cancelled", "_sim")
 
     def __init__(self, time: float, tie: int, callback: Callable[..., Any], args: tuple) -> None:
         self.time = time
@@ -29,26 +50,78 @@ class ScheduledEvent:
         self.callback = callback
         self.args = args
         self.cancelled = False
+        self._sim: "Simulator | None" = None
 
     def cancel(self) -> None:
         """Prevent the event from firing (no-op if it already fired)."""
-        self.cancelled = True
+        if not self.cancelled:
+            self.cancelled = True
+            sim = self._sim
+            if sim is not None:
+                sim._note_cancel()
 
     def __lt__(self, other: "ScheduledEvent") -> bool:
         return (self.time, self.tie) < (other.time, other.tie)
 
 
 class Simulator:
-    """The simulation clock and event queue."""
+    """The simulation clock and event queue (timer wheel + heap).
 
-    def __init__(self, start: float = 0.0) -> None:
+    Parameters
+    ----------
+    start:
+        Initial clock value.
+    wheel_granularity:
+        Width of one wheel slot in seconds.  Events closer to *now* than
+        one slot go straight to the heap; events within
+        ``wheel_granularity * wheel_slots`` of the current wheel base are
+        staged in O(1) buckets.
+    wheel_slots:
+        Number of slots (the wheel horizon is ``slots * granularity``).
+    compact_ratio:
+        Compact (drop cancelled shells from) the queue when tombstones
+        exceed ``compact_ratio`` × live events and ``compact_min``.
+    """
+
+    def __init__(
+        self,
+        start: float = 0.0,
+        wheel_granularity: float = 0.01,
+        wheel_slots: int = 1024,
+        compact_ratio: float = 1.0,
+        compact_min: int = 256,
+    ) -> None:
+        if wheel_granularity <= 0:
+            raise ValueError(f"wheel_granularity must be positive, got {wheel_granularity}")
+        if wheel_slots < 2:
+            raise ValueError(f"wheel_slots must be >= 2, got {wheel_slots}")
         self._now = start
-        self._queue: list[ScheduledEvent] = []
+        # Heap entries are (time, tie, event) tuples: heapq then compares
+        # at C speed (tie is unique, so the event itself never compares).
+        self._queue: list[tuple[float, int, ScheduledEvent]] = []
         self._tie = itertools.count()
         self._processed = 0
+        # Timer wheel state: `_wheel_pos` is the absolute index (time //
+        # granularity) of the next slot that has not yet been flushed to
+        # the heap; bucket i holds the events of every absolute slot
+        # congruent to i within the current horizon window.
+        self._gran = wheel_granularity
+        self._slots = wheel_slots
+        self._wheel: list[list[ScheduledEvent]] = [[] for _ in range(wheel_slots)]
+        self._wheel_pos = math.floor(start / wheel_granularity)
+        self._wheel_count = 0
+        # Tombstone accounting and compaction thresholds.
+        self._tombstones = 0
+        self._compact_ratio = compact_ratio
+        self._compact_min = compact_min
+        self.compactions = 0
+        self._peak_pending = 0
         registry = obs.registry()
         self._obs_processed = registry.counter("sim.events_processed")
         self._obs_queue_depth = registry.gauge("sim.queue_depth")
+        self._obs_peak_depth = registry.gauge("sim.peak_queue_depth")
+
+    # -- clock & counters ----------------------------------------------------
 
     @property
     def now(self) -> float:
@@ -57,13 +130,25 @@ class Simulator:
 
     @property
     def pending(self) -> int:
-        """Events scheduled but not yet fired (including cancelled shells)."""
-        return len(self._queue)
+        """Live (non-cancelled) events scheduled but not yet fired."""
+        return len(self._queue) + self._wheel_count - self._tombstones
+
+    @property
+    def tombstones(self) -> int:
+        """Cancelled shells still occupying queue or wheel storage."""
+        return self._tombstones
+
+    @property
+    def peak_pending(self) -> int:
+        """High-water mark of live pending events over the run."""
+        return self._peak_pending
 
     @property
     def processed(self) -> int:
         """Total events executed so far."""
         return self._processed
+
+    # -- scheduling ----------------------------------------------------------
 
     def schedule(self, at: float, callback: Callable[..., Any], *args: Any) -> ScheduledEvent:
         """Run ``callback(*args)`` at absolute time ``at``.
@@ -72,13 +157,105 @@ class Simulator:
         than rejected — protocol machines legitimately ask for immediate
         wakeups.
         """
-        event = ScheduledEvent(max(at, self._now), next(self._tie), callback, args)
-        heapq.heappush(self._queue, event)
+        if at < self._now:
+            at = self._now
+        event = ScheduledEvent(at, next(self._tie), callback, args)
+        event._sim = self
+        if self._wheel_count == 0:
+            # Empty wheel: snap the base forward so the horizon tracks
+            # the clock instead of walking stale empty slots later.
+            pos = math.floor(self._now / self._gran)
+            if pos > self._wheel_pos:
+                self._wheel_pos = pos
+        slot = math.floor(at / self._gran)
+        if slot * self._gran > at:
+            # Float division rounded across the boundary; the ordering
+            # invariant requires every wheel event's time >= its slot base.
+            slot -= 1
+        if self._wheel_pos <= slot < self._wheel_pos + self._slots:
+            self._wheel[slot % self._slots].append(event)
+            self._wheel_count += 1
+        else:
+            heapq.heappush(self._queue, (at, event.tie, event))
+        live = len(self._queue) + self._wheel_count - self._tombstones
+        if live > self._peak_pending:
+            self._peak_pending = live
         return event
 
     def schedule_in(self, delay: float, callback: Callable[..., Any], *args: Any) -> ScheduledEvent:
         """Run ``callback(*args)`` after ``delay`` seconds."""
         return self.schedule(self._now + delay, callback, *args)
+
+    # -- tombstone accounting & compaction ----------------------------------
+
+    def _note_cancel(self) -> None:
+        self._tombstones += 1
+        live = len(self._queue) + self._wheel_count - self._tombstones
+        if self._tombstones >= self._compact_min and self._tombstones > self._compact_ratio * live:
+            self._compact()
+
+    def _compact(self) -> None:
+        """Physically drop cancelled shells from the heap and the wheel."""
+        survivors = []
+        for entry in self._queue:
+            event = entry[2]
+            if event.cancelled:
+                event._sim = None
+            else:
+                survivors.append(entry)
+        heapq.heapify(survivors)
+        # In place: _run() holds a reference to this list across callbacks,
+        # and a callback's cancel() can land here — rebinding would strand
+        # the run loop on a stale queue.
+        self._queue[:] = survivors
+        for i, bucket in enumerate(self._wheel):
+            if not bucket:
+                continue
+            kept = []
+            for event in bucket:
+                if event.cancelled:
+                    event._sim = None
+                    self._wheel_count -= 1
+                else:
+                    kept.append(event)
+            self._wheel[i] = kept
+        self._tombstones = 0
+        self.compactions += 1
+
+    # -- wheel → heap staging ------------------------------------------------
+
+    def _flush_slot(self) -> None:
+        """Move the next wheel slot's surviving events into the heap."""
+        bucket = self._wheel[self._wheel_pos % self._slots]
+        if bucket:
+            self._wheel_count -= len(bucket)
+            push = heapq.heappush
+            queue = self._queue
+            for event in bucket:
+                if event.cancelled:
+                    event._sim = None
+                    self._tombstones -= 1
+                else:
+                    push(queue, (event.time, event.tie, event))
+            bucket.clear()
+        self._wheel_pos += 1
+
+    def _refill(self, limit: float) -> None:
+        """Flush wheel slots until the heap's head is provably earliest.
+
+        Any event still in the wheel has ``time >= wheel_base``; once the
+        heap head is strictly earlier than the wheel base (or the base
+        has passed ``limit``), popping the heap is safe.
+        """
+        while self._wheel_count:
+            base = self._wheel_pos * self._gran
+            if base > limit:
+                break
+            if self._queue and self._queue[0][0] < base:
+                break
+            self._flush_slot()
+
+    # -- execution -----------------------------------------------------------
 
     def run_until(self, deadline: float, max_events: int | None = None) -> int:
         """Execute events with time <= ``deadline``; returns events run.
@@ -86,12 +263,114 @@ class Simulator:
         The clock lands exactly on ``deadline`` afterwards, so repeated
         ``run_until`` calls paint a contiguous timeline.
         """
+        executed = self._run(deadline, max_events)
+        self._now = max(self._now, deadline)
+        self._finish(executed)
+        return executed
+
+    def run(self, max_events: int = 10_000_000) -> int:
+        """Drain the queue entirely (bounded by ``max_events``)."""
+        executed = self._run(math.inf, max_events)
+        self._finish(executed)
+        return executed
+
+    def _run(self, deadline: float, max_events: int | None) -> int:
+        executed = 0
+        queue = self._queue
+        pop = heapq.heappop
+        while True:
+            if self._wheel_count:
+                self._refill(deadline)
+            if not queue:
+                break
+            when = queue[0][0]
+            if when > deadline:
+                break
+            if max_events is not None and executed >= max_events:
+                break
+            event = pop(queue)[2]
+            event._sim = None
+            if event.cancelled:
+                self._tombstones -= 1
+                continue
+            self._now = when
+            event.callback(*event.args)
+            self._processed += 1
+            executed += 1
+        return executed
+
+    def _finish(self, executed: int) -> None:
+        self._obs_processed.inc(executed)
+        self._obs_queue_depth.set(self.pending)
+        self._obs_peak_depth.set(self._peak_pending)
+
+
+class ReferenceSimulator:
+    """The original pure-heap engine: the executable ordering spec.
+
+    Kept verbatim (modulo live-``pending`` accounting) so the property
+    suite can assert the wheel engine's execution order against it and
+    the benchmark harness can measure the fast path's speedup over the
+    pre-wheel baseline.
+    """
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = start
+        self._queue: list[ScheduledEvent] = []
+        self._tie = itertools.count()
+        self._processed = 0
+        self._tombstones = 0
+        self._peak_pending = 0
+        registry = obs.registry()
+        self._obs_processed = registry.counter("sim.events_processed")
+        self._obs_queue_depth = registry.gauge("sim.queue_depth")
+        self._obs_peak_depth = registry.gauge("sim.peak_queue_depth")
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    @property
+    def pending(self) -> int:
+        """Live (non-cancelled) events scheduled but not yet fired."""
+        return len(self._queue) - self._tombstones
+
+    @property
+    def tombstones(self) -> int:
+        return self._tombstones
+
+    @property
+    def peak_pending(self) -> int:
+        return self._peak_pending
+
+    @property
+    def processed(self) -> int:
+        return self._processed
+
+    def _note_cancel(self) -> None:
+        self._tombstones += 1
+
+    def schedule(self, at: float, callback: Callable[..., Any], *args: Any) -> ScheduledEvent:
+        event = ScheduledEvent(max(at, self._now), next(self._tie), callback, args)
+        event._sim = self  # type: ignore[assignment]
+        heapq.heappush(self._queue, event)
+        live = len(self._queue) - self._tombstones
+        if live > self._peak_pending:
+            self._peak_pending = live
+        return event
+
+    def schedule_in(self, delay: float, callback: Callable[..., Any], *args: Any) -> ScheduledEvent:
+        return self.schedule(self._now + delay, callback, *args)
+
+    def run_until(self, deadline: float, max_events: int | None = None) -> int:
         executed = 0
         while self._queue and self._queue[0].time <= deadline:
             if max_events is not None and executed >= max_events:
                 break
             event = heapq.heappop(self._queue)
+            event._sim = None
             if event.cancelled:
+                self._tombstones -= 1
                 continue
             self._now = event.time
             event.callback(*event.args)
@@ -99,20 +378,23 @@ class Simulator:
             executed += 1
         self._now = max(self._now, deadline)
         self._obs_processed.inc(executed)
-        self._obs_queue_depth.set(len(self._queue))
+        self._obs_queue_depth.set(self.pending)
+        self._obs_peak_depth.set(self._peak_pending)
         return executed
 
     def run(self, max_events: int = 10_000_000) -> int:
-        """Drain the queue entirely (bounded by ``max_events``)."""
         executed = 0
         while self._queue and executed < max_events:
             event = heapq.heappop(self._queue)
+            event._sim = None
             if event.cancelled:
+                self._tombstones -= 1
                 continue
             self._now = event.time
             event.callback(*event.args)
             self._processed += 1
             executed += 1
         self._obs_processed.inc(executed)
-        self._obs_queue_depth.set(len(self._queue))
+        self._obs_queue_depth.set(self.pending)
+        self._obs_peak_depth.set(self._peak_pending)
         return executed

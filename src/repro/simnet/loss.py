@@ -13,6 +13,8 @@ from __future__ import annotations
 import random
 from typing import Protocol
 
+from repro.simnet.rng import default_rng
+
 __all__ = [
     "LossModel",
     "NoLoss",
@@ -45,7 +47,7 @@ class BernoulliLoss:
         if not 0.0 <= p <= 1.0:
             raise ValueError(f"loss probability must be in [0, 1], got {p}")
         self._p = p
-        self._rng = rng or random.Random()
+        self._rng = rng or default_rng("loss.bernoulli")
 
     @property
     def p(self) -> float:
@@ -113,7 +115,7 @@ class GilbertElliottLoss:
         self._loss_good = loss_good
         self._loss_bad = loss_bad
         self._bad = False
-        self._rng = rng or random.Random()
+        self._rng = rng or default_rng("loss.gilbert-elliott")
 
     @property
     def in_bad_state(self) -> bool:

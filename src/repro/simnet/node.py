@@ -80,14 +80,18 @@ class SimNode:
     def receive(self, packet: Packet, src: str, now: float) -> None:
         """Network delivery entry point (called by :class:`Network`)."""
         for machine in self.machines:
-            self.execute(machine.handle(packet, src, now))
+            actions = machine.handle(packet, src, now)
+            if actions:  # usually empty — skip the dispatch loop
+                self.execute(actions)
         self._reschedule()
 
     def poll(self) -> None:
         now = self._sim.now
         self._wakeup = None
         for machine in self.machines:
-            self.execute(machine.poll(now))
+            actions = machine.poll(now)
+            if actions:
+                self.execute(actions)
         self._reschedule()
 
     def execute(self, actions: list[Action]) -> None:
@@ -131,9 +135,18 @@ class SimNode:
     # -- wakeup plumbing ----------------------------------------------------
 
     def _reschedule(self) -> None:
-        deadlines = [m.next_wakeup() for m in self.machines]
-        deadlines = [d for d in deadlines if d is not None]
-        next_due = min(deadlines) if deadlines else None
+        # Runs after every delivery; min() over a comprehension allocates
+        # two lists per packet, so fold the minimum inline instead (and
+        # skip the loop entirely for the common single-machine node).
+        machines = self.machines
+        if len(machines) == 1:
+            next_due = machines[0].next_wakeup()
+        else:
+            next_due = None
+            for machine in machines:
+                due = machine.next_wakeup()
+                if due is not None and (next_due is None or due < next_due):
+                    next_due = due
         if next_due is None:
             if self._wakeup is not None:
                 self._wakeup.cancel()

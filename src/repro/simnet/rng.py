@@ -12,7 +12,19 @@ from __future__ import annotations
 import hashlib
 import random
 
-__all__ = ["RngStreams"]
+__all__ = ["RngStreams", "default_rng"]
+
+
+def default_rng(name: str) -> random.Random:
+    """Deterministic fallback RNG for components built without one.
+
+    Derived like an :class:`RngStreams` stream but from a fixed root
+    seed: a default-constructed loss model draws the same sequence every
+    run, and two differently-named consumers never share a stream.
+    Experiments that need seed control still pass an explicit RNG.
+    """
+    digest = hashlib.sha256(f"default:{name}".encode()).digest()
+    return random.Random(int.from_bytes(digest[:8], "big"))
 
 
 class RngStreams:

@@ -97,10 +97,20 @@ class Network:
     ) -> None:
         self.sim = sim
         self.streams = streams or RngStreams(seed=0)
-        self.backbone = Link("backbone", latency=backbone_latency)
+        self.backbone = Link(
+            "backbone", latency=backbone_latency, rng=self.streams.stream("link:backbone")
+        )
         self._sites: dict[str, Site] = {}
         self._hosts: dict[str, Host] = {}
         self._groups: dict[str, set[str]] = {}
+        # Sorted membership, cached per group (invalidated on join/leave):
+        # multicast iterates it on every transmission.
+        self._member_cache: dict[str, list[str]] = {}
+        # Fast path: one delivery event per distinct arrival time instead
+        # of one per receiver.  Off = the pre-batching per-receiver loop
+        # (kept as the reference baseline for the benchmark harness);
+        # both produce identical delivery and RNG-draw orderings.
+        self.batch_delivery = True
         # Optional observer called for every delivered/dropped packet:
         # fn(kind, packet, src, dst, now) with kind in {"rx", "drop"}.
         self.observer: Callable[[str, Packet, str, str, float], None] | None = None
@@ -124,13 +134,19 @@ class Network:
             raise ValueError(f"site {name!r} already exists")
         site = Site(
             name=name,
-            lan=Link(f"{name}.lan", latency=lan_latency, loss=lan_loss),
+            lan=Link(
+                f"{name}.lan",
+                latency=lan_latency,
+                loss=lan_loss,
+                rng=self.streams.stream(f"link:{name}.lan"),
+            ),
             tail_up=Link(
                 f"{name}.tail.up",
                 latency=tail_latency,
                 bandwidth=tail_bandwidth,
                 queue_limit=tail_queue,
                 loss=tail_loss_up,
+                rng=self.streams.stream(f"link:{name}.tail.up"),
             ),
             tail_down=Link(
                 f"{name}.tail.down",
@@ -138,6 +154,7 @@ class Network:
                 bandwidth=tail_bandwidth,
                 queue_limit=tail_queue,
                 loss=tail_loss_down,
+                rng=self.streams.stream(f"link:{name}.tail.down"),
             ),
         )
         self._sites[name] = site
@@ -172,11 +189,25 @@ class Network:
 
     def join(self, group: str, host_name: str) -> None:
         self._groups.setdefault(group, set()).add(host_name)
+        self._member_cache.pop(group, None)
 
     def leave(self, group: str, host_name: str) -> None:
         members = self._groups.get(group)
         if members is not None:
             members.discard(host_name)
+            self._member_cache.pop(group, None)
+
+    def _sorted_members(self, group: str) -> list[str]:
+        """Sorted member list, cached between membership changes.
+
+        Sorted iteration keeps RNG consumption order (and therefore the
+        whole simulation) independent of set-hash randomization.
+        """
+        members = self._member_cache.get(group)
+        if members is None:
+            members = sorted(self._groups.get(group, ()))
+            self._member_cache[group] = members
+        return members
 
     def members(self, group: str) -> frozenset[str]:
         return frozenset(self._groups.get(group, frozenset()))
@@ -213,7 +244,16 @@ class Network:
         self._deliver(dst, packet, src_name, at)
 
     def send_multicast(self, src_name: str, group: str, packet: Packet, ttl: int | None = None) -> None:
-        """Inject a multicast: one copy per tree link, shared fate."""
+        """Inject a multicast: one copy per tree link, shared fate.
+
+        The fast path (``batch_delivery``) computes each destination
+        site's arrival time once and schedules **one delivery event per
+        distinct arrival time**, fanning out to the co-timed receivers
+        inside the callback — for the paper's 50×20 deployment that is
+        ~50 events per transmission instead of ~1000.  Drop accounting,
+        per-member inbound-loss draws, and the delivery order are
+        bit-identical to the per-receiver reference loop below.
+        """
         src = self._hosts[src_name]
         self.stats["multicast_sent"] += 1
         now = self.sim.now
@@ -228,9 +268,64 @@ class Network:
                 outcomes[key] = link.transit(size, at)
             return outcomes[key]
 
-        # Sorted iteration keeps RNG consumption order (and therefore the
-        # whole simulation) independent of set-hash randomization.
-        for member_name in sorted(self._groups.get(group, ())):
+        members = self._sorted_members(group)
+        if not self.batch_delivery:
+            self._send_multicast_reference(src, src_name, members, packet, ttl, now, cross)
+            return
+
+        src_site = src.site
+        # Site name -> arrival time (None = shared drop on the path); all
+        # receivers behind the same tree edges share one outcome.
+        site_at: dict[str, float | None] = {}
+        batches: dict[float, list[Host]] = {}
+        hosts = self._hosts
+        for member_name in members:
+            if member_name == src_name:
+                continue
+            dst = hosts.get(member_name)
+            if dst is None:
+                continue
+            dst_site = dst.site
+            hops = SAME_SITE_HOPS if dst_site is src_site else CROSS_SITE_HOPS
+            if ttl is not None and hops > ttl:
+                continue  # scoped out, not an error
+            site_name = dst_site.name
+            if site_name in site_at:
+                at = site_at[site_name]
+            else:
+                at = now
+                for link in self.path(src, dst)[0]:
+                    at = cross(link, at)  # type: ignore[arg-type]
+                    if at is None:
+                        break
+                site_at[site_name] = at
+            if at is None:
+                self._drop(packet, src_name, member_name, now)
+                continue
+            if dst.inbound_loss is not None and dst.inbound_loss.drops(at):
+                self._drop(packet, src_name, dst.name, at)
+                continue
+            bucket = batches.get(at)
+            if bucket is None:
+                batches[at] = [dst]
+            else:
+                bucket.append(dst)
+        schedule = self.sim.schedule
+        for at, co_timed in batches.items():
+            schedule(at, self._arrive_batch, co_timed, packet, src_name)
+
+    def _send_multicast_reference(
+        self,
+        src: Host,
+        src_name: str,
+        members: list[str],
+        packet: Packet,
+        ttl: int | None,
+        now: float,
+        cross,
+    ) -> None:
+        """Pre-batching reference loop: one delivery event per receiver."""
+        for member_name in members:
             if member_name == src_name:
                 continue
             dst = self._hosts.get(member_name)
@@ -241,7 +336,7 @@ class Network:
                 continue  # scoped out, not an error
             at: float | None = now
             for link in links:
-                at = cross(link, at)  # type: ignore[arg-type]
+                at = cross(link, at)
                 if at is None:
                     break
             if at is None:
@@ -264,6 +359,24 @@ class Network:
             self.observer("rx", packet, src_name, dst.name, self.sim.now)
         if dst.endpoint is not None:
             dst.endpoint.receive(packet, src_name, self.sim.now)
+
+    def _arrive_batch(self, co_timed: list[Host], packet: Packet, src_name: str) -> None:
+        """Deliver one multicast transmission to its co-timed receivers.
+
+        Iteration order is membership order, matching the tie-breaker
+        order the per-receiver reference path produces for simultaneous
+        deliveries.
+        """
+        now = self.sim.now
+        stats = self.stats
+        observer = self.observer
+        for dst in co_timed:
+            dst.rx_packets += 1
+            stats["delivered"] += 1
+            if observer is not None:
+                observer("rx", packet, src_name, dst.name, now)
+            if dst.endpoint is not None:
+                dst.endpoint.receive(packet, src_name, now)
 
     def _drop(self, packet: Packet, src_name: str, dst_name: str, now: float) -> None:
         self.stats["dropped"] += 1

@@ -47,11 +47,19 @@ class PacketTrace:
         # observe() is the hottest call in every simulation.
         self._registry = obs.registry()
         self._obs_counters: dict[tuple[str, int, bool], object] = {}
+        # Hosts never change sites, so (src, dst) -> cross-site resolves
+        # to a dict hit after the first packet on each pair.
+        self._site_cache: dict[tuple[str, str], bool] = {}
         network.observer = self.observe
 
     def observe(self, kind: str, packet: Packet, src: str, dst: str, now: float) -> None:
-        cross = self._cross_site(src, dst)
-        key = (kind, int(packet.TYPE), cross)
+        pair = (src, dst)
+        cross = self._site_cache.get(pair)
+        if cross is None:
+            cross = self._site_cache[pair] = self._cross_site(src, dst)
+        # PacketType is an IntEnum: as a dict key it hashes/compares
+        # like its int value, so skip the per-packet int() conversion.
+        key = (kind, packet.TYPE, cross)
         self.counts[key] += 1
         counter = self._obs_counters.get(key)
         if counter is None:

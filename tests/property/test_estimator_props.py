@@ -41,7 +41,9 @@ def test_t_wait_growth_bounded_by_doubling(alpha, samples):
     for sample in samples:
         before = est.t_wait
         est.record_last_ack(sample)
-        assert est.t_wait <= before * (1 + alpha) + 1e-12
+        # Relative slack: at t_wait magnitudes around 1e4 the float error
+        # of the update itself exceeds any absolute epsilon.
+        assert est.t_wait <= before * (1 + alpha) * (1 + 1e-9) + 1e-12
 
 
 @settings(max_examples=25, deadline=None)

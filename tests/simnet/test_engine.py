@@ -4,7 +4,8 @@ from __future__ import annotations
 
 import pytest
 
-from repro.simnet.engine import Simulator
+from repro import obs
+from repro.simnet.engine import ReferenceSimulator, Simulator
 
 
 def test_events_fire_in_time_order():
@@ -101,3 +102,123 @@ def test_processed_counter():
         sim.schedule(float(i), lambda: None)
     sim.run()
     assert sim.processed == 7
+
+
+def test_pending_is_live_count():
+    """`pending` counts only events that will still fire."""
+    sim = Simulator()
+    handles = [sim.schedule(float(i), lambda: None) for i in range(5)]
+    assert sim.pending == 5
+    handles[0].cancel()
+    handles[3].cancel()
+    assert sim.pending == 3
+    assert sim.tombstones == 2
+    sim.run_until(2.5)
+    assert sim.pending == 1
+    sim.run()
+    assert sim.pending == 0
+    assert sim.tombstones == 0
+
+
+def test_peak_pending_high_water_mark():
+    sim = Simulator()
+    for i in range(10):
+        sim.schedule(float(i), lambda: None)
+    assert sim.peak_pending == 10
+    sim.run()
+    assert sim.pending == 0
+    assert sim.peak_pending == 10  # the mark survives the drain
+
+
+def test_cancelled_events_never_inflate_peak():
+    sim = Simulator()
+    for _ in range(4):
+        sim.schedule(1.0, lambda: None).cancel()
+    live = sim.schedule(1.0, lambda: None)
+    assert sim.pending == 1
+    assert sim.peak_pending == 1
+    live.cancel()
+    assert sim.pending == 0
+
+
+def test_double_cancel_counts_once():
+    sim = Simulator()
+    handle = sim.schedule(1.0, lambda: None)
+    handle.cancel()
+    handle.cancel()
+    assert sim.tombstones == 1
+    assert sim.pending == 0
+
+
+def test_compaction_drops_shells_and_preserves_order():
+    """Forced compaction removes tombstones without touching live order."""
+    sim = Simulator(compact_min=4, compact_ratio=0.0)
+    fired = []
+    doomed = [sim.schedule(0.5 + i, fired.append, f"dead{i}") for i in range(4)]
+    for i in range(3):
+        sim.schedule(1.0 + i, fired.append, i)
+    for handle in doomed:
+        handle.cancel()
+    assert sim.compactions >= 1
+    assert sim.tombstones == 0
+    assert sim.pending == 3
+    sim.run()
+    assert fired == [0, 1, 2]
+
+
+def test_cancel_inside_callback_during_run():
+    """Regression: a callback cancelling a sibling may trigger compaction
+    mid-run; the loop must keep draining the *same* queue (in-place
+    compaction), losing and reordering nothing."""
+    sim = Simulator(compact_min=1, compact_ratio=0.0)
+    fired = []
+    victims = [sim.schedule(2.0 + i * 0.001, fired.append, f"victim{i}") for i in range(8)]
+
+    def reap():
+        fired.append("reap")
+        for victim in victims:
+            victim.cancel()
+
+    sim.schedule(1.0, reap)
+    sim.schedule(3.0, fired.append, "survivor")
+    sim.run()
+    assert fired == ["reap", "survivor"]
+    assert sim.compactions >= 1
+    assert sim.pending == 0 and sim.tombstones == 0
+
+
+def test_wheel_horizon_fallback_to_heap():
+    """Events beyond the wheel horizon still fire in order."""
+    sim = Simulator(wheel_granularity=0.01, wheel_slots=4)  # horizon 0.04s
+    fired = []
+    sim.schedule(100.0, fired.append, "far")
+    sim.schedule(0.02, fired.append, "near")
+    sim.schedule(5.0, fired.append, "mid")
+    sim.run()
+    assert fired == ["near", "mid", "far"]
+
+
+def test_obs_gauges_reflect_queue_depth():
+    with obs.recording() as reg:
+        sim = Simulator()
+        for i in range(6):
+            sim.schedule(float(i), lambda: None)
+        sim.run_until(2.5)
+        assert reg.gauge_value("sim.queue_depth") == 3
+        assert reg.gauge_value("sim.peak_queue_depth") == 6
+        sim.run()
+        assert reg.gauge_value("sim.queue_depth") == 0
+
+
+def test_reference_simulator_same_contract():
+    """The executable spec honors the identical external contract."""
+    ref = ReferenceSimulator()
+    fired = []
+    ref.schedule(2.0, fired.append, "b")
+    ref.schedule(1.0, fired.append, "a")
+    handle = ref.schedule(1.5, fired.append, "dropped")
+    handle.cancel()
+    assert ref.pending == 2 and ref.tombstones == 1
+    ref.run()
+    assert fired == ["a", "b"]
+    assert ref.pending == 0 and ref.processed == 2

@@ -63,5 +63,26 @@ def test_unknown_command_rejected():
 def test_parser_lists_all_demos():
     parser = build_parser()
     help_text = parser.format_help()
-    for cmd in ("quickstart", "dis", "ticker", "failover", "live", "web", "headline", "metrics"):
+    for cmd in ("quickstart", "dis", "ticker", "failover", "live", "web", "headline", "metrics", "bench"):
         assert cmd in help_text
+
+
+def test_bench_quick_writes_json(tmp_path, capsys):
+    import json
+
+    assert main([
+        "bench", "--quick", "--only", "logger_throughput", "--out", str(tmp_path)
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "logger_throughput" in out and "speedup" in out
+    result = json.loads((tmp_path / "BENCH_logger_throughput.json").read_text())
+    assert result["tier"] == "quick"
+    assert set(result["engines"]) == {"fast", "reference"}
+    # The harness asserts cross-engine agreement before writing.
+    assert result["engines"]["fast"]["checks"] == result["engines"]["reference"]["checks"]
+    assert result["speedup"] > 0
+
+
+def test_bench_rejects_unknown_scenario(tmp_path, capsys):
+    assert main(["bench", "--quick", "--only", "nonsense", "--out", str(tmp_path)]) == 2
+    assert "unknown scenario" in capsys.readouterr().err
