@@ -1,0 +1,36 @@
+"""repro.chaos — declarative fault injection and protocol invariants.
+
+LBRM's headline claim is receiver-side reliability *under failure*
+(§2.1 MaxIT silence bound, §2.2.1 local recovery, §2.2.3 primary
+failover).  This package turns the ad-hoc fault code that used to live
+inside individual tests into one reusable layer:
+
+* :mod:`repro.chaos.schedule` — :class:`Fault` / :class:`FaultSchedule`,
+  a declarative, serializable description of *what goes wrong when*
+  (crash/restart/pause/resume nodes, skew clocks, partition/heal sites,
+  duplicate/corrupt/reorder packets), composing with the existing
+  :mod:`repro.simnet.loss` models.
+* :mod:`repro.chaos.controller` — :class:`ChaosController`, which
+  compiles a schedule onto a built :class:`~repro.simnet.deploy.LbrmDeployment`.
+* :mod:`repro.chaos.oracle` — :class:`ChaosOracle`, a runtime checker
+  for the paper's receiver-reliability invariants (see DESIGN.md §7).
+* :mod:`repro.chaos.campaign` — the randomized conformance campaign
+  behind ``repro chaos``: seeded schedule sampling, runs under both
+  engines, reproducer seeds and schedule minimization on violation.
+"""
+
+from repro.chaos.campaign import run_campaign, sample_schedule
+from repro.chaos.controller import ChaosController
+from repro.chaos.oracle import ChaosOracle, Violation
+from repro.chaos.schedule import Fault, FaultSchedule, PacketChaos
+
+__all__ = [
+    "Fault",
+    "FaultSchedule",
+    "PacketChaos",
+    "ChaosController",
+    "ChaosOracle",
+    "Violation",
+    "run_campaign",
+    "sample_schedule",
+]

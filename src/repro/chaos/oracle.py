@@ -1,0 +1,356 @@
+"""Runtime protocol-invariant oracle for LBRM deployments.
+
+:class:`ChaosOracle` attaches to a built
+:class:`~repro.simnet.deploy.LbrmDeployment` and checks, while the
+simulation runs and once more at the end, the receiver-reliability
+invariants the paper's §2 argues for (DESIGN.md §7 catalogues them):
+
+* **I1 — eventual gap-free delivery** (§2, §2.2.1): at the end of the
+  run every receiver whose node is alive holds every sequence number
+  from its join baseline (``tracker.first_seen``) to the sender's
+  high-water mark, and never abandoned a recovery.
+* **I2 — bounded sender silence** (§2.1): the gap between consecutive
+  source transmissions (data, heartbeat, or retransmission) never
+  exceeds a small multiple of the variable-heartbeat schedule's current
+  interval — the MaxIT promise receivers size their watchdogs against.
+* **I3 — log completeness** (§2.2.3): *safety*, checked continuously —
+  the source never releases data beyond what a live log server holds
+  contiguously; and *completeness*, checked at the end — live loggers
+  hold the full stream up to the sender's high-water mark.
+* **I4 — monotone promotion** (§2.2.3): a logger never leaves the
+  PRIMARY role, a replica is promoted at most once, and successive
+  promotions hand over at non-decreasing sequence numbers.
+
+The oracle is read-only: it chains (never replaces) the network
+observer, taps replica promotion events, and sweeps deployment state on
+a periodic simulator event — a run with the oracle attached is
+packet-for-packet identical to one without.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro import obs
+from repro.core.events import PromotedToPrimary
+from repro.core.logger import LoggerRole, LogServer
+from repro.core.packets import PacketType
+from repro.simnet.deploy import LbrmDeployment
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.chaos.controller import ChaosController
+    from repro.core.packets import Packet
+
+__all__ = ["ChaosOracle", "Violation"]
+
+_SOURCE_TYPES = frozenset({int(PacketType.DATA), int(PacketType.HEARTBEAT), int(PacketType.RETRANS)})
+
+
+@dataclass(frozen=True, slots=True)
+class Violation:
+    """One observed invariant breach."""
+
+    invariant: str  # "delivery" | "silence" | "log-safety" | "log-completeness" | "promotion"
+    time: float
+    subject: str
+    detail: str
+
+    def to_dict(self) -> dict:
+        return {
+            "invariant": self.invariant,
+            "time": self.time,
+            "subject": self.subject,
+            "detail": self.detail,
+        }
+
+
+class ChaosOracle:
+    """Continuous invariant checking for one deployment.
+
+    Parameters
+    ----------
+    deployment:
+        The deployment to watch.  Attach **before** running.
+    silence_slack:
+        I2 multiplier on the expected heartbeat interval ("a small
+        multiple (2 in our implementation)", §2.1.1).
+    grace:
+        Additive I2 allowance for propagation delay and clock skew.
+    check_interval:
+        Seconds between periodic sweeps.
+    require_delivery / require_full_logs:
+        Gate the end-of-run I1 / I3-completeness checks — directed
+        tests that *intend* an unrecoverable world (e.g. every logger
+        dead, no replicas) disable the checks that world must fail.
+    """
+
+    def __init__(
+        self,
+        deployment: LbrmDeployment,
+        controller: "ChaosController | None" = None,
+        *,
+        silence_slack: float = 2.0,
+        grace: float = 0.25,
+        check_interval: float = 0.5,
+        require_delivery: bool = True,
+        require_full_logs: bool = True,
+    ) -> None:
+        self.deployment = deployment
+        self.controller = controller
+        self.violations: list[Violation] = []
+        self._slack = silence_slack
+        self._grace = grace
+        self._interval = check_interval
+        self._require_delivery = require_delivery
+        self._require_full_logs = require_full_logs
+        self._installed = False
+        self._finished = False
+        hb = deployment.spec.config.heartbeat
+        self._hb = hb
+        self._last_tx: float | None = None
+        self._expected = hb.h_min
+        self._silence_reported_at: float | None = None
+        self._safety_reported: tuple[int, int] | None = None
+        # Machines that may ever hold the PRIMARY role, with the last
+        # role each was seen in (I4's no-demotion check).
+        self._roles: dict[int, tuple[str, LoggerRole]] = {}
+        self._promotions: list[tuple[float, str, int]] = []
+        self._promoted_nodes: set[str] = set()
+        self._obs_violations = obs.registry().counter("chaos.violations")
+
+    # -- wiring ----------------------------------------------------------
+
+    def install(self) -> None:
+        """Attach taps and start sweeping.  Call before the run starts."""
+        if self._installed:
+            raise RuntimeError("oracle already installed")
+        self._installed = True
+        dep = self.deployment
+        network = dep.network
+        chained = network.observer
+        network.observer = self._make_observer(chained)
+        for machine, _node in self._primary_capable():
+            self._roles[id(machine)] = (machine.addr_token, machine.role)
+        for node in dep.replica_nodes:
+            self._hook_promotions(node)
+        dep.sim.schedule(dep.sim.now + self._interval, self._sweep)
+
+    def _make_observer(self, chained):
+        def observe(kind: str, packet: "Packet", src: str, dst: str, now: float) -> None:
+            if chained is not None:
+                chained(kind, packet, src, dst, now)
+            if src == "source" and int(packet.TYPE) in _SOURCE_TYPES:
+                self._on_source_tx(packet, now)
+
+        return observe
+
+    def _on_source_tx(self, packet: "Packet", now: float) -> None:
+        if self._last_tx is None or now > self._last_tx:
+            self._last_tx = now
+        ptype = int(packet.TYPE)
+        if ptype == int(PacketType.DATA):
+            self._expected = self._hb.h_min
+        elif ptype == int(PacketType.HEARTBEAT):
+            hb = self._hb
+            self._expected = min(hb.h_min * hb.backoff ** packet.hb_index, hb.h_max)
+        # RETRANS proves liveness but does not reset the heartbeat clock.
+
+    def _hook_promotions(self, node) -> None:
+        chained = node._on_event
+        name = node.name
+
+        def on_event(event, now: float) -> None:
+            if isinstance(event, PromotedToPrimary):
+                self._on_promotion(name, event.from_seq, now)
+            if chained is not None:
+                chained(event, now)
+
+        node._on_event = on_event
+
+    # -- periodic sweep ----------------------------------------------------
+
+    def _sweep(self) -> None:
+        if self._finished:
+            return
+        now = self.deployment.sim.now
+        self._check_silence(now)
+        self._check_log_safety(now)
+        self._check_roles(now)
+        self.deployment.sim.schedule(now + self._interval, self._sweep)
+
+    def finish(self) -> list[Violation]:
+        """Run the end-of-stream checks and stop sweeping."""
+        self._finished = True
+        now = self.deployment.sim.now
+        self._check_silence(now)
+        self._check_log_safety(now)
+        self._check_roles(now)
+        if self._require_delivery:
+            self._check_delivery(now)
+        if self._require_full_logs:
+            self._check_log_completeness(now)
+        return list(self.violations)
+
+    def assert_ok(self) -> None:
+        """``finish()`` and raise AssertionError on any violation."""
+        violations = self.finish()
+        if violations:
+            lines = "\n".join(
+                f"  [{v.invariant}] t={v.time:.3f} {v.subject}: {v.detail}" for v in violations
+            )
+            raise AssertionError(f"{len(violations)} invariant violation(s):\n{lines}")
+
+    # -- invariants ----------------------------------------------------------
+
+    def _record(self, invariant: str, time: float, subject: str, detail: str) -> None:
+        self.violations.append(Violation(invariant=invariant, time=time, subject=subject, detail=detail))
+        self._obs_violations.inc()
+
+    def _check_silence(self, now: float) -> None:
+        """I2: the source is never silent beyond its heartbeat promise."""
+        source_node = self.deployment.source_node
+        if source_node is None or not source_node.alive:
+            # A crashed or paused source is entitled to silence; restart
+            # the clock so it gets one fresh interval after recovery.
+            self._last_tx = now
+            return
+        if self._last_tx is None:
+            return  # nothing sent yet; the promise starts with the stream
+        silent = now - self._last_tx
+        allowed = self._slack * self._expected + self._grace
+        if silent > allowed:
+            # One report per silence episode, not one per sweep.
+            if self._silence_reported_at != self._last_tx:
+                self._silence_reported_at = self._last_tx
+                self._record(
+                    "silence", now, "source",
+                    f"silent {silent:.3f}s, allowed {allowed:.3f}s "
+                    f"(expected interval {self._expected:.3f}s x slack {self._slack})",
+                )
+
+    def _primary_capable(self) -> list[tuple[LogServer, object]]:
+        dep = self.deployment
+        pairs: list[tuple[LogServer, object]] = []
+        if dep.primary is not None and dep.primary_node is not None:
+            pairs.append((dep.primary, dep.primary_node))
+        pairs.extend(zip(dep.replicas, dep.replica_nodes))
+        return pairs
+
+    def _check_log_safety(self, now: float) -> None:
+        """I3 (safety): released data is still held by some log.
+
+        Logs are durable in the paper's model (loggers spool to disk,
+        §2.2.3 replicas protect against *total* loss), so a crashed or
+        paused node's log still counts — what must never happen is the
+        source discarding data that no log, live or recoverable, holds.
+        """
+        sender = self.deployment.sender
+        if sender is None:
+            return
+        released = sender.released_up_to
+        if released == 0:
+            return
+        held = 0
+        for machine, _node in self._primary_capable():
+            held = max(held, machine.primary_seq)
+        if released > held and self._safety_reported != (released, held):
+            self._safety_reported = (released, held)
+            self._record(
+                "log-safety", now, "source",
+                f"source released through seq {released} but the best live "
+                f"log holds only {held} contiguously",
+            )
+
+    def _check_roles(self, now: float) -> None:
+        """I4 (part): once PRIMARY, always PRIMARY."""
+        for machine, _node in self._primary_capable():
+            name, last = self._roles[id(machine)]
+            current = machine.role
+            if last is LoggerRole.PRIMARY and current is not LoggerRole.PRIMARY:
+                self._record(
+                    "promotion", now, name,
+                    f"demoted from PRIMARY to {current.name}",
+                )
+            self._roles[id(machine)] = (name, current)
+
+    def _on_promotion(self, node_name: str, from_seq: int, now: float) -> None:
+        """I4 (part): promotions are one-shot and sequence-monotone."""
+        if node_name in self._promoted_nodes:
+            self._record("promotion", now, node_name, "promoted to PRIMARY a second time")
+        self._promoted_nodes.add(node_name)
+        if self._promotions:
+            _, prev_name, prev_seq = self._promotions[-1]
+            if from_seq < prev_seq:
+                self._record(
+                    "promotion", now, node_name,
+                    f"promoted from_seq {from_seq} after {prev_name} "
+                    f"was promoted at from_seq {prev_seq}",
+                )
+        self._promotions.append((now, node_name, from_seq))
+
+    def _check_delivery(self, now: float) -> None:
+        """I1: every live receiver ends gap-free with nothing abandoned."""
+        dep = self.deployment
+        high = dep.sender.seq if dep.sender is not None else 0
+        for receiver, node in zip(dep.receivers, dep.receiver_nodes):
+            if not node.alive:
+                continue  # receiver-reliability binds only live receivers
+            tracker = receiver.tracker
+            if not tracker.started:
+                if high:
+                    self._record(
+                        "delivery", now, node.name,
+                        f"never received anything; sender reached seq {high}",
+                    )
+                continue
+            # The obligation starts at the receiver's baseline: a receiver
+            # whose first observation was seq k (it joined, or rejoined the
+            # reachable world, mid-stream) owes itself k.. but not earlier
+            # history — that is recovered at the application level (§5).
+            base = tracker.first_seen
+            gaps = [seq for seq in range(base, high + 1) if not tracker.has(seq)]
+            if gaps:
+                shown = ", ".join(str(s) for s in gaps[:8])
+                more = f" (+{len(gaps) - 8} more)" if len(gaps) > 8 else ""
+                self._record(
+                    "delivery", now, node.name,
+                    f"missing seq {shown}{more} of {base}..{high} at end of run",
+                )
+            failures = receiver.stats["recovery_failures"]
+            if failures:
+                self._record(
+                    "delivery", now, node.name,
+                    f"abandoned {failures} recover{'y' if failures == 1 else 'ies'}",
+                )
+
+    def _check_log_completeness(self, now: float) -> None:
+        """I3 (completeness): live logs end at the sender's high-water mark."""
+        dep = self.deployment
+        sender = dep.sender
+        if sender is None or sender.seq == 0:
+            return
+        high = sender.seq
+        loggers = list(zip(dep.site_loggers, dep.site_logger_nodes))
+        loggers.extend(zip(dep.regional_loggers, dep.regional_logger_nodes))
+        for machine, node in loggers:
+            if not node.alive:
+                continue
+            if machine.primary_seq < high:
+                self._record(
+                    "log-completeness", now, node.name,
+                    f"holds contiguously through {machine.primary_seq}, "
+                    f"sender high-water mark is {high}",
+                )
+        # The logger the sender currently trusts must cover everything
+        # the source has discarded (else that data is gone for good).
+        current = sender.primary
+        for machine, node in self._primary_capable():
+            if machine.addr_token != current:
+                continue
+            if node.alive and machine.primary_seq < sender.released_up_to:
+                self._record(
+                    "log-completeness", now, machine.addr_token,
+                    f"current primary holds through {machine.primary_seq}, "
+                    f"source already released through {sender.released_up_to}",
+                )

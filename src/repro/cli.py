@@ -13,6 +13,8 @@ Commands
                  dump the metrics registry (text or JSON).
 ``bench``      — run the performance harness (fast vs reference engine)
                  and write machine-readable ``BENCH_*.json`` results.
+``chaos``      — run the randomized fault-injection conformance campaign
+                 (seeded schedules, invariant oracle, reproducer seeds).
 """
 
 from __future__ import annotations
@@ -176,6 +178,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     build_bench_parser(bench)
     bench.set_defaults(fn=run_bench)
+    from repro.chaos.campaign import build_chaos_parser, run_chaos
+
+    chaos = sub.add_parser(
+        "chaos", help="run the randomized fault-injection conformance campaign"
+    )
+    build_chaos_parser(chaos)
+    chaos.set_defaults(fn=run_chaos)
     for name, script in _DEMOS.items():
         sub.add_parser(name, help=f"run examples/{script}.py").set_defaults(fn=_cmd_demo(name))
     return parser

@@ -429,6 +429,9 @@ class LogServer(ProtocolMachine):
             return []
         self._role = LoggerRole.PRIMARY
         self._source = src
+        # The source becomes the new primary's upstream: any gap in the
+        # promoted log is backfilled from the reliability buffer.
+        self._parent = src
         self._level = 0
         self._trace.emit(now, "logger.promoted", node=self._addr_token, from_seq=packet.from_seq)
         if self._replication is None:

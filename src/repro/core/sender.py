@@ -27,6 +27,7 @@ from repro.core.packets import (
     DataPacket,
     HeartbeatPacket,
     LogAckPacket,
+    NackPacket,
     Packet,
     PrimaryInfoPacket,
     PrimaryQueryPacket,
@@ -150,6 +151,7 @@ class LbrmSender(ProtocolMachine):
                 "remulticasts": 0,
                 "unicast_retransmits": 0,
                 "log_acks": 0,
+                "log_backfills": 0,
                 "failovers": 0,
             },
             node=addr_token,
@@ -235,6 +237,8 @@ class LbrmSender(ProtocolMachine):
     def handle(self, packet: Packet, src: Address, now: float) -> list[Action]:
         if isinstance(packet, LogAckPacket):
             return self._on_log_ack(packet, src, now)
+        if isinstance(packet, NackPacket):
+            return self._on_primary_nack(packet, src, now)
         if isinstance(packet, PrimaryQueryPacket):
             info = PrimaryInfoPacket(group=self._group, primary_addr=self._primary_token())
             return [SendUnicast(dest=src, packet=info)]
@@ -310,6 +314,31 @@ class LbrmSender(ProtocolMachine):
         # replicas the primary's own ACK is the release point.
         release = packet.replica_seq if self._replicas else packet.primary_seq
         return self._release(release)
+
+    def _on_primary_nack(self, packet: NackPacket, src: Address, now: float) -> list[Action]:
+        """Backfill the primary log's own multicast losses (§2.2.3).
+
+        The source is the primary's upstream: the reliability buffer
+        holds exactly the packets the log has not acknowledged yet, so a
+        NACK from the log the source currently trusts is served from
+        there (or from the short-horizon cache for anything already
+        released).  Without this path a primary that misses a multicast
+        packet could never complete its log, wedging the release point
+        and every secondary's upstream recovery with it.
+        """
+        if src != self._primary:
+            return []  # only the log the source trusts may tap the buffer
+        epoch = self._statack.current_epoch if self._statack else 0
+        actions: list[Action] = []
+        for seq in packet.seqs:
+            payload = self._payload_for(seq)
+            if payload is None:
+                continue
+            self.stats["log_backfills"] += 1
+            self._trace.emit(now, "sender.log_backfill", seq=seq)
+            retrans = RetransPacket(group=self._group, seq=seq, payload=payload, epoch=epoch)
+            actions.append(SendUnicast(dest=src, packet=retrans))
+        return actions
 
     def _release(self, up_to: int) -> list[Action]:
         if up_to <= self._released_up_to:

@@ -84,6 +84,15 @@ class SequenceTracker:
         """True once at least one sequence number has been observed."""
         return self._first != 0
 
+    @property
+    def first_seen(self) -> int:
+        """First sequence number ever observed (0 = none yet).
+
+        This is the receiver-reliability baseline: a mid-stream joiner
+        owes itself the stream from here on, not earlier history.
+        """
+        return self._first
+
     def observe_data(self, seq: int) -> GapReport:
         """Record arrival of data (or retransmission) with sequence ``seq``.
 

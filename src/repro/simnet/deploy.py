@@ -99,6 +99,10 @@ class LbrmDeployment:
             config=spec.config,
             role=LoggerRole.PRIMARY,
             source="source",
+            # The source is the primary's upstream (§2.2.3): it buffers
+            # exactly the packets the log has not acknowledged, so the
+            # primary backfills its own multicast losses from there.
+            parent="source",
             replicas=tuple(replica_names),
             level=0,
         )
@@ -204,6 +208,13 @@ class LbrmDeployment:
         """Start every node (group joins, watchdogs, statack bootstrap)."""
         for node in self.all_nodes():
             node.start()
+
+    def node(self, name: str) -> SimNode:
+        """The node hosting ``name`` (receivers, loggers, replicas, source)."""
+        for node in self.all_nodes():
+            if node.name == name:
+                return node
+        raise KeyError(f"no node named {name!r}")
 
     def all_nodes(self) -> list[SimNode]:
         nodes: list[SimNode] = []

@@ -40,14 +40,30 @@ class NoLoss:
         return False
 
 
+def _instance_rng(family: str, counter: list[int]) -> random.Random:
+    """A decorrelated default stream for one loss-model instance.
+
+    Every default-constructed instance used to share one named stream
+    (``default_rng("loss.bernoulli")``), which made all such links drop
+    the *same* packets in lockstep — perfectly correlated loss that no
+    real network exhibits.  Numbering the streams keeps defaults
+    deterministic (for a fixed construction order) while decorrelating
+    instances; pass an explicit ``rng`` for full seed control.
+    """
+    counter[0] += 1
+    return default_rng(f"{family}.{counter[0]}")
+
+
 class BernoulliLoss:
     """Independent loss with fixed probability ``p``."""
+
+    _instances = [0]
 
     def __init__(self, p: float, rng: random.Random | None = None) -> None:
         if not 0.0 <= p <= 1.0:
             raise ValueError(f"loss probability must be in [0, 1], got {p}")
         self._p = p
-        self._rng = rng or default_rng("loss.bernoulli")
+        self._rng = rng or _instance_rng("loss.bernoulli", self._instances)
 
     @property
     def p(self) -> float:
@@ -94,6 +110,8 @@ class GilbertElliottLoss:
     model deterministic under a seeded RNG.
     """
 
+    _instances = [0]
+
     def __init__(
         self,
         p_good_to_bad: float = 0.01,
@@ -102,6 +120,8 @@ class GilbertElliottLoss:
         loss_bad: float = 0.9,
         rng: random.Random | None = None,
     ) -> None:
+        # (``rng`` is positional-last on purpose: every experiment that
+        # cares about reproducibility should pass its own stream.)
         for name, p in (
             ("p_good_to_bad", p_good_to_bad),
             ("p_bad_to_good", p_bad_to_good),
@@ -115,7 +135,7 @@ class GilbertElliottLoss:
         self._loss_good = loss_good
         self._loss_bad = loss_bad
         self._bad = False
-        self._rng = rng or default_rng("loss.gilbert-elliott")
+        self._rng = rng or _instance_rng("loss.gilbert-elliott", self._instances)
 
     @property
     def in_bad_state(self) -> bool:
@@ -133,10 +153,34 @@ class GilbertElliottLoss:
 
 
 class CompositeLoss:
-    """Drops when *any* member model drops (e.g. burst over Bernoulli)."""
+    """Drops when *any* member model drops (e.g. burst over Bernoulli).
 
-    def __init__(self, *models: LossModel) -> None:
+    ``rng``, when given, reseeds the composite deterministically: every
+    member that accepts a seeded stream is rebuilt on a sub-stream split
+    from it, so one seed pins the whole stack regardless of how the
+    members were constructed.
+    """
+
+    def __init__(self, *models: LossModel, rng: random.Random | None = None) -> None:
+        if rng is not None:
+            models = tuple(self._reseed(model, rng, index)
+                           for index, model in enumerate(models))
         self._models = models
+
+    @staticmethod
+    def _reseed(model: LossModel, rng: random.Random, index: int) -> LossModel:
+        sub = random.Random(f"composite.{index}.{rng.random()}")
+        if isinstance(model, BernoulliLoss):
+            return BernoulliLoss(model.p, rng=sub)
+        if isinstance(model, GilbertElliottLoss):
+            return GilbertElliottLoss(
+                p_good_to_bad=model._p_gb,
+                p_bad_to_good=model._p_bg,
+                loss_good=model._loss_good,
+                loss_bad=model._loss_bad,
+                rng=sub,
+            )
+        return model  # deterministic models (NoLoss, BurstLoss) pass through
 
     def drops(self, now: float) -> bool:
         # Evaluate all models so stateful members keep advancing.

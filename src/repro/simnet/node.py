@@ -7,6 +7,14 @@ sinks), and keeps each machine's next wakeup scheduled on the simulator.
 
 The node is also where LBRM's address tokens resolve: in the simulator
 an address *is* the host name, so token parsing is the identity.
+
+Fault-injection hooks (used by :mod:`repro.chaos`): a node can be
+*crashed* (machines detached, inbound traffic falls on the floor),
+*restarted* (machines re-attached with their state intact — modelling
+the paper's disk-backed logs, §2.2, coming back after a process
+restart), *paused*/*resumed* (alive but unresponsive, a stop-the-world
+pause), and given a *clock skew* (a constant offset added to the time
+its machines observe, without perturbing the simulation clock).
 """
 
 from __future__ import annotations
@@ -51,6 +59,11 @@ class SimNode:
         self._wakeup: ScheduledEvent | None = None
         self.delivered: list[Deliver] = []
         self.events: list[Event] = []
+        # Fault-injection state (see module docstring).
+        self.crashed = False
+        self.paused = False
+        self.clock_skew = 0.0
+        self._stashed_machines: list[ProtocolMachine] = []
         host.attach(self)
 
     @property
@@ -60,6 +73,19 @@ class SimNode:
     @property
     def now(self) -> float:
         return self._sim.now
+
+    @property
+    def alive(self) -> bool:
+        """True when the node can make protocol progress right now.
+
+        A node whose machine list was emptied by hand (the pre-chaos
+        idiom ``node.machines.clear()``) counts as dead too, so legacy
+        fault injection and :meth:`crash` look the same to an oracle.
+        """
+        return bool(self.machines) and not self.crashed and not self.paused
+
+    def _machine_now(self) -> float:
+        return self._sim.now + self.clock_skew
 
     # -- machine management ----------------------------------------------------
 
@@ -72,13 +98,17 @@ class SimNode:
         for machine in self.machines:
             start = getattr(machine, "start", None)
             if callable(start):
-                self.execute(start(self._sim.now))
+                self.execute(start(self._machine_now()))
         self._reschedule()
 
     # -- the harness contract ---------------------------------------------------
 
     def receive(self, packet: Packet, src: str, now: float) -> None:
         """Network delivery entry point (called by :class:`Network`)."""
+        if self.paused:
+            return  # alive but unresponsive: inbound traffic is lost
+        if self.clock_skew:
+            now = now + self.clock_skew
         for machine in self.machines:
             actions = machine.handle(packet, src, now)
             if actions:  # usually empty — skip the dispatch loop
@@ -86,8 +116,10 @@ class SimNode:
         self._reschedule()
 
     def poll(self) -> None:
-        now = self._sim.now
         self._wakeup = None
+        if self.paused:
+            return
+        now = self._machine_now()
         for machine in self.machines:
             actions = machine.poll(now)
             if actions:
@@ -120,7 +152,7 @@ class SimNode:
 
     def send_app(self, machine, payload: bytes) -> None:
         """Have a sender machine multicast application data now."""
-        self.execute(machine.send(payload, self._sim.now))
+        self.execute(machine.send(payload, self._machine_now()))
         self._reschedule()
 
     def run_machine(self, fn, *args) -> None:
@@ -132,9 +164,61 @@ class SimNode:
         """All observed events of ``event_type`` so far."""
         return [e for e in self.events if isinstance(e, event_type)]
 
+    # -- fault injection ----------------------------------------------------
+
+    def crash(self) -> None:
+        """Kill the node: machines detach, pending wakeups die.
+
+        Inbound packets are silently lost while crashed — exactly the
+        behaviour of the hand-rolled ``machines.clear()`` idiom, but
+        reversible via :meth:`restart`.
+        """
+        if self.crashed:
+            return
+        self.crashed = True
+        self._stashed_machines = self.machines
+        self.machines = []
+        if self._wakeup is not None:
+            self._wakeup.cancel()
+            self._wakeup = None
+
+    def restart(self) -> None:
+        """Bring a crashed node back with its machines' state intact.
+
+        Models a process restart recovering from its persistent state
+        (loggers spool to disk, §2.2; receivers re-arm their watchdogs):
+        every machine's ``start`` hook runs again, re-joining groups
+        (idempotent) and re-arming timers, then gaps accumulated while
+        dead surface through the normal heartbeat/gap machinery.
+        """
+        if not self.crashed:
+            return
+        self.crashed = False
+        self.machines = self._stashed_machines
+        self._stashed_machines = []
+        self.start()
+
+    def pause(self) -> None:
+        """Stop responding without dying (a stop-the-world pause)."""
+        if self.paused:
+            return
+        self.paused = True
+        if self._wakeup is not None:
+            self._wakeup.cancel()
+            self._wakeup = None
+
+    def resume(self) -> None:
+        """End a :meth:`pause`; timers re-arm and fire from now on."""
+        if not self.paused:
+            return
+        self.paused = False
+        self._reschedule()
+
     # -- wakeup plumbing ----------------------------------------------------
 
     def _reschedule(self) -> None:
+        if self.paused:
+            return  # resume() re-arms
         # Runs after every delivery; min() over a comprehension allocates
         # two lists per packet, so fold the minimum inline instead (and
         # skip the loop entirely for the common single-machine node).
@@ -152,6 +236,9 @@ class SimNode:
                 self._wakeup.cancel()
                 self._wakeup = None
             return
+        if self.clock_skew:
+            # Machines speak skewed time; the simulator runs true time.
+            next_due = next_due - self.clock_skew
         if self._wakeup is not None:
             if self._wakeup.time <= next_due and not self._wakeup.cancelled:
                 return  # an earlier-or-equal wakeup is already pending

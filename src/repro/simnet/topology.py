@@ -59,6 +59,12 @@ class Endpoint(Protocol):
     def receive(self, packet: Packet, src: str, now: float) -> None: ...
 
 
+class PacketChaosHook(Protocol):
+    """Duck type of :class:`repro.chaos.PacketChaos` as the network sees it."""
+
+    def arrivals(self, packet: Packet, src: str, dst: str, at: float) -> list[float]: ...
+
+
 @dataclass
 class Host:
     """A simulated host: a name, a site, and an attached endpoint."""
@@ -114,6 +120,11 @@ class Network:
         # Optional observer called for every delivered/dropped packet:
         # fn(kind, packet, src, dst, now) with kind in {"rx", "drop"}.
         self.observer: Callable[[str, Packet, str, str, float], None] | None = None
+        # Optional packet mangler (repro.chaos.PacketChaos): given one
+        # about-to-be-scheduled delivery, returns the arrival times to
+        # schedule instead — [] drops (corruption), [at, at+d] duplicates,
+        # [at+d] reorders.  None = no mangling, zero cost.
+        self.chaos: "PacketChaosHook | None" = None
         self.stats = {"unicast_sent": 0, "multicast_sent": 0, "delivered": 0, "dropped": 0}
 
     # -- construction ----------------------------------------------------
@@ -279,6 +290,7 @@ class Network:
         site_at: dict[str, float | None] = {}
         batches: dict[float, list[Host]] = {}
         hosts = self._hosts
+        chaos = self.chaos
         for member_name in members:
             if member_name == src_name:
                 continue
@@ -304,6 +316,9 @@ class Network:
                 continue
             if dst.inbound_loss is not None and dst.inbound_loss.drops(at):
                 self._drop(packet, src_name, dst.name, at)
+                continue
+            if chaos is not None:
+                self._deliver_chaos(dst, packet, src_name, at)
                 continue
             bucket = batches.get(at)
             if bucket is None:
@@ -350,7 +365,20 @@ class Network:
         if dst.inbound_loss is not None and dst.inbound_loss.drops(at):
             self._drop(packet, src_name, dst.name, at)
             return
+        if self.chaos is not None:
+            self._deliver_chaos(dst, packet, src_name, at)
+            return
         self.sim.schedule(at, self._arrive, dst, packet, src_name)
+
+    def _deliver_chaos(self, dst: Host, packet: Packet, src_name: str, at: float) -> None:
+        """Schedule a delivery through the chaos mangler (slow path)."""
+        assert self.chaos is not None
+        times = self.chaos.arrivals(packet, src_name, dst.name, at)
+        if not times:
+            self._drop(packet, src_name, dst.name, at)
+            return
+        for t in times:
+            self.sim.schedule(t, self._arrive, dst, packet, src_name)
 
     def _arrive(self, dst: Host, packet: Packet, src_name: str) -> None:
         dst.rx_packets += 1

@@ -1,0 +1,94 @@
+"""ChaosController: schedules compile onto a live deployment."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import obs
+from repro.chaos import ChaosController, Fault, FaultSchedule
+from repro.simnet import DeploymentSpec, LbrmDeployment
+from repro.simnet.loss import BernoulliLoss
+
+
+def _dep(**kw):
+    return LbrmDeployment(DeploymentSpec(**{
+        "n_sites": 2, "receivers_per_site": 1, "seed": 5, **kw,
+    }))
+
+
+def _arm(dep, *faults, seed=0):
+    controller = ChaosController(dep, FaultSchedule(faults=tuple(faults), seed=seed))
+    controller.install()
+    return controller
+
+
+def test_crash_and_restart_round_trip():
+    dep = _dep()
+    _arm(dep, Fault("crash", 1.0, "site1-rx0"), Fault("restart", 2.0, "site1-rx0"))
+    dep.start()
+    node = dep.node("site1-rx0")
+    dep.advance(1.5)
+    assert not node.alive
+    dep.advance(1.0)
+    assert node.alive
+
+
+def test_pause_freezes_then_resume_revives():
+    dep = _dep()
+    _arm(dep, Fault("pause", 1.0, "site1-rx0"), Fault("resume", 2.0, "site1-rx0"))
+    dep.start()
+    node = dep.node("site1-rx0")
+    dep.advance(1.5)
+    assert node.paused and not node.alive
+    dep.advance(1.0)
+    assert node.alive
+
+
+def test_skew_offsets_machine_clock():
+    dep = _dep()
+    _arm(dep, Fault("skew", 1.0, "site1-rx0", amount=0.05))
+    dep.start()
+    dep.advance(1.5)
+    assert dep.node("site1-rx0").clock_skew == 0.05
+
+
+def test_partition_composes_with_existing_loss():
+    dep = _dep()
+    background = BernoulliLoss(0.0, dep.streams.stream("bg"))
+    dep.network.site("site1").tail_down.loss = background
+    _arm(dep, Fault("partition", 1.0, "site1", duration=1.0))
+    dep.start()
+    model = dep.network.site("site1").tail_down.loss
+    # The partition wraps the prior model rather than replacing it.
+    assert model is not background
+    assert model.drops(1.5)
+    assert not model.drops(2.5)
+
+
+def test_packet_faults_install_network_hook():
+    dep = _dep()
+    _arm(dep, Fault("corrupt", 1.0, "site1-rx0", duration=1.0, amount=1.0))
+    assert dep.network.chaos is not None
+
+
+def test_faults_counted_in_obs_registry():
+    with obs.recording() as reg:
+        dep = _dep()
+        controller = _arm(
+            dep,
+            Fault("crash", 1.0, "site1-rx0"),
+            Fault("restart", 2.0, "site1-rx0"),
+            Fault("partition", 1.0, "site2", duration=0.5),
+        )
+        dep.start()
+        dep.advance(3.0)
+        assert controller.faults_injected == 3
+        assert reg.counter_value("chaos.faults_injected") == 3
+
+
+def test_double_install_rejected():
+    dep = _dep()
+    controller = ChaosController(dep, FaultSchedule())
+    controller.install()
+    with pytest.raises(RuntimeError):
+        controller.install()

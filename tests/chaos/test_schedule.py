@@ -1,0 +1,112 @@
+"""Unit tests for the declarative fault-schedule layer."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.chaos.schedule import DUPLICATE_GAP, Fault, FaultSchedule, PacketChaos
+
+
+class _Pkt:
+    TYPE = 1
+
+
+class TestFaultValidation:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            Fault("meteor", 1.0, "site1")
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError, match="must be >= 0"):
+            Fault("crash", -1.0, "primary")
+
+    def test_node_fault_needs_target(self):
+        with pytest.raises(ValueError, match="needs a target"):
+            Fault("crash", 1.0)
+
+    def test_probability_amounts_bounded(self):
+        with pytest.raises(ValueError, match="probability"):
+            Fault("corrupt", 1.0, "rx", duration=1.0, amount=1.5)
+
+    def test_reorder_needs_positive_delay(self):
+        with pytest.raises(ValueError, match="delay"):
+            Fault("reorder", 1.0, "rx", duration=1.0, amount=0.0)
+
+    def test_dict_roundtrip(self):
+        fault = Fault("corrupt", 2.5, "site1-rx0", duration=0.4, amount=0.2)
+        assert Fault.from_dict(fault.to_dict()) == fault
+
+
+class TestFaultSchedule:
+    def test_faults_sorted_by_time(self):
+        schedule = FaultSchedule(faults=(
+            Fault("restart", 3.0, "rx"), Fault("crash", 1.0, "rx"),
+        ))
+        assert [f.kind for f in schedule.faults] == ["crash", "restart"]
+
+    def test_partition_windows_self_closing(self):
+        schedule = FaultSchedule(faults=(Fault("partition", 1.0, "site1", duration=2.0),))
+        assert schedule.partition_windows() == {"site1": [(1.0, 3.0)]}
+
+    def test_partition_open_until_heal(self):
+        schedule = FaultSchedule(faults=(
+            Fault("partition", 1.0, "site1"),
+            Fault("heal", 4.0, "site1"),
+        ))
+        assert schedule.partition_windows() == {"site1": [(1.0, 4.0)]}
+
+    def test_partition_without_heal_is_forever(self):
+        schedule = FaultSchedule(faults=(Fault("partition", 1.0, "site1"),))
+        assert schedule.partition_windows() == {"site1": [(1.0, float("inf"))]}
+
+    def test_without_removes_one_fault(self):
+        schedule = FaultSchedule(faults=(
+            Fault("crash", 1.0, "a"), Fault("crash", 2.0, "b"),
+        ))
+        assert [f.target for f in schedule.without(0).faults] == ["b"]
+
+    def test_packet_chaos_absent_without_packet_faults(self):
+        schedule = FaultSchedule(faults=(Fault("crash", 1.0, "a"),))
+        assert schedule.packet_chaos() is None
+
+    def test_packet_chaos_seed_determinism(self):
+        schedule = FaultSchedule(
+            faults=(Fault("corrupt", 1.0, "", duration=5.0, amount=0.5),), seed=99
+        )
+        a, b = schedule.packet_chaos(), schedule.packet_chaos()
+        seen = [
+            (a.arrivals(_Pkt(), "s", "d", t), b.arrivals(_Pkt(), "s", "d", t))
+            for t in [1.1, 1.2, 1.3, 1.4, 1.5]
+        ]
+        assert all(x == y for x, y in seen)
+
+
+class TestPacketChaos:
+    def _chaos(self, fault, seed=0):
+        return PacketChaos((fault,), rng=random.Random(seed))
+
+    def test_outside_window_untouched(self):
+        chaos = self._chaos(Fault("corrupt", 2.0, "", duration=1.0, amount=1.0))
+        assert chaos.arrivals(_Pkt(), "s", "d", 1.5) == [1.5]
+        assert chaos.arrivals(_Pkt(), "s", "d", 3.5) == [3.5]
+        assert chaos.mangled == 0
+
+    def test_corrupt_drops_in_window(self):
+        chaos = self._chaos(Fault("corrupt", 2.0, "", duration=1.0, amount=1.0))
+        assert chaos.arrivals(_Pkt(), "s", "d", 2.5) == []
+        assert chaos.mangled == 1
+
+    def test_duplicate_appends_copy(self):
+        chaos = self._chaos(Fault("duplicate", 2.0, "", duration=1.0, amount=1.0))
+        assert chaos.arrivals(_Pkt(), "s", "d", 2.5) == [2.5, 2.5 + DUPLICATE_GAP]
+
+    def test_reorder_delays(self):
+        chaos = self._chaos(Fault("reorder", 2.0, "", duration=1.0, amount=0.05))
+        assert chaos.arrivals(_Pkt(), "s", "d", 2.5) == [2.55]
+
+    def test_target_filter(self):
+        chaos = self._chaos(Fault("corrupt", 2.0, "rx1", duration=1.0, amount=1.0))
+        assert chaos.arrivals(_Pkt(), "s", "rx2", 2.5) == [2.5]
+        assert chaos.arrivals(_Pkt(), "s", "rx1", 2.5) == []

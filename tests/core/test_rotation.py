@@ -49,6 +49,34 @@ class TestSchedule:
         with pytest.raises(ValueError):
             RotationSchedule(("a",), period=0.0)
 
+    def test_single_member_always_on_duty(self):
+        schedule = RotationSchedule(("only",), period=5.0)
+        for t in (0.0, 4.9, 5.0, 123.4):
+            assert schedule.on_duty(t) == "only"
+        assert schedule.next_handoff(0.0) == 5.0
+
+    def test_duplicate_members_deduped(self):
+        schedule = RotationSchedule(("a", "a", "b"), period=10.0)
+        assert schedule.members == ("a", "b")
+        assert schedule.on_duty(10.0) == "b"
+
+    def test_handoff_boundary_is_half_open(self):
+        schedule = RotationSchedule(("a", "b"), period=10.0)
+        assert schedule.on_duty(9.999999) == "a"
+        assert schedule.on_duty(10.0) == "b"
+
+    def test_duty_spans_empty_interval(self):
+        schedule = RotationSchedule(("a", "b"), period=10.0)
+        assert schedule.duty_spans(5.0, 5.0) == []
+
+    def test_before_epoch_still_deterministic(self):
+        """Clock skew can put a host slightly before the shared epoch;
+        the slot arithmetic must keep every host agreeing."""
+        s1 = RotationSchedule(("a", "b", "c"), period=10.0, epoch=100.0)
+        s2 = RotationSchedule(("c", "b", "a"), period=10.0, epoch=100.0)
+        for t in (99.9, 95.0, 0.0):
+            assert s1.on_duty(t) == s2.on_duty(t)
+
 
 def make_rotating(host: str, members=("h0", "h1")) -> RotatingLogServer:
     inner = LogServer("g", addr_token=host, config=LbrmConfig(),
@@ -76,6 +104,15 @@ class TestRotatingLogServer:
     def test_member_validation(self):
         with pytest.raises(ValueError):
             make_rotating("stranger")
+
+    def test_duty_resumes_after_the_ring_comes_back_around(self):
+        server = make_rotating("h0")
+        server.handle(DataPacket(group="g", seq=1, payload=b"x"), "source", 0.0)
+        nack = NackPacket(group="g", seqs=(1,))
+        assert server.handle(nack, "rx", 1.0) != []  # h0's turn
+        assert server.handle(nack, "rx", 11.0) == []  # h1's turn
+        assert server.handle(nack, "rx", 21.0) != []  # h0 again
+        assert server.stats == {"served_on_duty": 2, "deferred_off_duty": 1}
 
 
 def test_rotation_over_simnet_load_is_shared():

@@ -11,12 +11,14 @@ from repro.core.packets import (
     DataPacket,
     HeartbeatPacket,
     LogAckPacket,
+    NackPacket,
     PrimaryInfoPacket,
     PrimaryQueryPacket,
     PromotePacket,
     ReplAckPacket,
     ReplStatusQueryPacket,
     ReplUpdatePacket,
+    RetransPacket,
 )
 from repro.core.sender import FailoverPhase, LbrmSender
 
@@ -174,6 +176,100 @@ class TestFailover:
         s.send(b"x", 0.0)
         s.poll(5.0)
         assert s.failover_phase is FailoverPhase.HEALTHY
+
+    def test_vote_order_does_not_matter(self):
+        """A stale replica answering first must not win the vote."""
+        s = self.make()
+        s.send(b"x", 0.0)
+        s.send(b"y", 0.1)
+        s.poll(2.5)
+        s.handle(ReplAckPacket(group="g", cum_seq=2**64 - 1), "r0", 2.55)  # stale, first
+        s.handle(ReplAckPacket(group="g", cum_seq=2), "r1", 2.6)
+        actions = s.poll(2.8)
+        promotes = [a for a in unicasts(actions) if isinstance(a.packet, PromotePacket)]
+        assert promotes[0].dest == "r1"
+        assert promotes[0].packet.from_seq == 3
+        # r1 already holds everything: no tail to push, handover is instant.
+        assert s.failover_phase is FailoverPhase.HEALTHY
+
+    def test_vote_from_non_replica_ignored(self):
+        s = self.make()
+        s.send(b"x", 0.0)
+        s.poll(2.5)
+        s.handle(ReplAckPacket(group="g", cum_seq=5), "impostor", 2.6)
+        s.poll(2.8)
+        assert s.failover_phase is FailoverPhase.HEALTHY
+        assert s.primary == "primary"
+
+    def test_aborted_vote_retries_and_eventually_promotes(self):
+        """Simultaneous failure: primary and both replicas dark at once.
+        The vote aborts, but the watchdog keeps retrying; a replica that
+        comes back wins the next round."""
+        s = self.make()
+        s.send(b"x", 0.0)
+        s.poll(2.5)  # QUERYING
+        s.poll(2.8)  # nobody answered: abort back to HEALTHY
+        assert s.failover_phase is FailoverPhase.HEALTHY
+        actions = s.poll(4.0)  # data still outstanding: the check re-fires
+        queries = [a for a in unicasts(actions) if isinstance(a.packet, ReplStatusQueryPacket)]
+        assert {q.dest for q in queries} == {"r0", "r1"}
+        s.handle(ReplAckPacket(group="g", cum_seq=1), "r1", 4.1)
+        actions = s.poll(4.3)
+        promotes = [a for a in unicasts(actions) if isinstance(a.packet, PromotePacket)]
+        assert promotes and promotes[0].dest == "r1"
+        assert s.primary == "r1"
+
+    def test_promoted_replica_inherits_backfill_rights(self):
+        s = self.make()
+        s.send(b"x", 0.0)
+        s.poll(2.5)
+        s.handle(ReplAckPacket(group="g", cum_seq=1), "r1", 2.6)
+        s.poll(2.8)
+        assert s.primary == "r1"
+        # The demoted primary may no longer tap the buffer; the new one may.
+        assert s.handle(NackPacket(group="g", seqs=(1,)), "primary", 3.0) == []
+        actions = s.handle(NackPacket(group="g", seqs=(1,)), "r1", 3.1)
+        assert [a.packet.seq for a in unicasts(actions)] == [1]
+
+
+class TestPrimaryBackfill:
+    """§2.2.3: the source is the primary log's upstream.  A NACK from the
+    log the source trusts is served from the reliability buffer (or the
+    short-horizon cache) — without this a primary that misses a multicast
+    packet could wedge the release point forever."""
+
+    def test_nack_from_primary_served_from_buffer(self):
+        s = make_sender()
+        s.send(b"one", 0.0)
+        s.send(b"two", 0.1)
+        actions = s.handle(NackPacket(group="g", seqs=(1, 2)), "primary", 0.5)
+        retrans = [a for a in unicasts(actions) if isinstance(a.packet, RetransPacket)]
+        assert [(r.dest, r.packet.seq, r.packet.payload) for r in retrans] == [
+            ("primary", 1, b"one"),
+            ("primary", 2, b"two"),
+        ]
+        assert s.stats["log_backfills"] == 2
+
+    def test_nack_from_stranger_ignored(self):
+        s = make_sender()
+        s.send(b"one", 0.0)
+        assert s.handle(NackPacket(group="g", seqs=(1,)), "site1-logger", 0.5) == []
+        assert s.stats["log_backfills"] == 0
+
+    def test_unheld_seq_skipped(self):
+        s = make_sender()
+        s.send(b"one", 0.0)
+        actions = s.handle(NackPacket(group="g", seqs=(1, 99)), "primary", 0.5)
+        assert [a.packet.seq for a in unicasts(actions)] == [1]
+
+    def test_released_seq_served_from_recent_cache(self):
+        # The short-horizon cache only exists with statack enabled.
+        s = make_sender(enable_statack=True)
+        s.send(b"one", 0.0)
+        s.handle(LogAckPacket(group="g", primary_seq=1, replica_seq=0), "primary", 0.1)
+        assert s.unacked == 0  # released from the reliability buffer...
+        actions = s.handle(NackPacket(group="g", seqs=(1,)), "primary", 0.5)
+        assert [a.packet.seq for a in unicasts(actions)] == [1]  # ...yet still served
 
 
 def test_no_primary_means_no_retention():

@@ -1,39 +1,52 @@
-"""Primary-log failure and replica promotion over the simulator (§2.2.3)."""
+"""Primary-log failure and replica promotion over the simulator (§2.2.3).
+
+Primary deaths are declared as chaos faults; the invariant oracle
+watches promotion monotonicity (a replica is promoted at most once, at
+non-decreasing hand-off sequences) and log safety throughout, with each
+test's original assertions kept as cross-checks.
+"""
 
 from __future__ import annotations
 
 import pytest
 
+from repro.chaos import Fault
 from repro.core.events import PrimaryFailover, PromotedToPrimary
 from repro.core.logger import LoggerRole
 from repro.simnet import DeploymentSpec, LbrmDeployment
 
+from tests.integration._chaos import arm
+
 
 def deployment(n_replicas=2, seed=21):
-    dep = LbrmDeployment(DeploymentSpec(
+    return LbrmDeployment(DeploymentSpec(
         n_sites=3, receivers_per_site=2, n_replicas=n_replicas, seed=seed,
     ))
-    dep.start()
-    dep.advance(0.2)
-    return dep
 
 
 def test_replication_keeps_replicas_current():
     dep = deployment()
+    oracle = arm(dep)  # no faults: the oracle is a pure conformance check
+    dep.start()
+    dep.advance(0.2)
     for i in range(5):
         dep.send(f"u{i}".encode())
         dep.advance(0.3)
+    oracle.assert_ok()
     assert all(len(r.log) == 5 for r in dep.replicas)
     assert dep.sender.released_up_to == 5
 
 
 def test_failover_promotes_most_up_to_date_replica():
     dep = deployment()
+    oracle = arm(dep, [Fault("crash", 0.7, "primary")])
+    dep.start()
+    dep.advance(0.2)
     dep.send(b"before")
-    dep.advance(0.5)
-    dep.kill_primary()
+    dep.advance(0.5)  # primary dies at 0.7, right after this window
     dep.send(b"during")  # unackable: primary is dead
     dep.advance(6.0)  # primary_timeout (2s) + vote + promote + handover
+    oracle.assert_ok()
     events = dep.source_node.events_of(PrimaryFailover)
     assert len(events) == 1
     new_primary = events[0].new_primary
@@ -47,13 +60,16 @@ def test_failover_promotes_most_up_to_date_replica():
 
 def test_service_continues_after_failover():
     dep = deployment()
+    oracle = arm(dep, [Fault("crash", 0.7, "primary")])
+    dep.start()
+    dep.advance(0.2)
     dep.send(b"a")
     dep.advance(0.5)
-    dep.kill_primary()
     dep.send(b"b")
     dep.advance(6.0)
     dep.send(b"c")
     dep.advance(2.0)
+    oracle.assert_ok()
     assert dep.receivers_with(3) == len(dep.receivers)
     assert dep.sender.released_up_to == 3
 
@@ -62,36 +78,44 @@ def test_receivers_recover_via_new_primary():
     """After failover, a receiver whose whole chain is stale reaches the
     source, learns the new primary, and recovers through it."""
     dep = deployment()
+    oracle = arm(dep, [
+        Fault("crash", 0.7, "primary"),
+        # Also kill site1's logger so its receivers must escalate.
+        Fault("crash", 0.7, "site1-logger"),
+        Fault("corrupt", 0.7, "site1-rx0", duration=0.05, amount=1.0),
+    ])
+    dep.start()
+    dep.advance(0.2)
     dep.send(b"a")
     dep.advance(0.5)
-    dep.kill_primary()
-    # Also kill site1's logger so its receivers must escalate to primary.
-    dep.site_logger_nodes[0].machines.clear()
-    host = dep.network.host("site1-rx0")
-    from repro.simnet import BurstLoss
-
-    host.inbound_loss = BurstLoss([(dep.sim.now, dep.sim.now + 0.05)])
     dep.send(b"b")
     dep.advance(20.0)  # escalation retries + failover + PRIMARY_QUERY round
+    oracle.assert_ok()
     rx = dep.receivers[0]
     assert rx.tracker.has(2)
 
 
 def test_no_failover_without_outstanding_data():
     dep = deployment()
+    oracle = arm(dep, [Fault("crash", 0.7, "primary")])
+    dep.start()
+    dep.advance(0.2)
     dep.send(b"a")
     dep.advance(0.5)
-    dep.kill_primary()
     dep.advance(10.0)  # idle: nothing unacked, no reason to fail over
+    oracle.assert_ok()
     assert dep.source_node.events_of(PrimaryFailover) == []
 
 
 def test_single_replica_failover():
     dep = deployment(n_replicas=1)
+    oracle = arm(dep, [Fault("crash", 0.7, "primary")])
+    dep.start()
+    dep.advance(0.2)
     dep.send(b"a")
     dep.advance(0.5)
-    dep.kill_primary()
     dep.send(b"b")
     dep.advance(6.0)
+    oracle.assert_ok()
     assert dep.replicas[0].role is LoggerRole.PRIMARY
     assert dep.sender.primary == "replica0"

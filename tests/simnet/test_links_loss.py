@@ -130,3 +130,40 @@ class TestLossModels:
         model = CompositeLoss(BurstLoss([(0.0, 10.0)]), ge)
         model.drops(0.5)  # burst drops, but GE must still transition
         assert ge.in_bad_state
+
+
+class TestDefaultRngDecorrelation:
+    """Default-constructed instances must not drop the same packets in
+    lockstep (the correlated-loss bug the chaos campaign flushed out)."""
+
+    def test_two_default_bernoulli_instances_differ(self):
+        a, b = BernoulliLoss(0.5), BernoulliLoss(0.5)
+        outcomes = [(a.drops(0.0), b.drops(0.0)) for _ in range(256)]
+        assert any(x != y for x, y in outcomes)
+
+    def test_two_default_gilbert_elliott_instances_differ(self):
+        a = GilbertElliottLoss(p_good_to_bad=0.2, p_bad_to_good=0.2, loss_bad=1.0)
+        b = GilbertElliottLoss(p_good_to_bad=0.2, p_bad_to_good=0.2, loss_bad=1.0)
+        outcomes = [(a.drops(0.0), b.drops(0.0)) for _ in range(512)]
+        assert any(x != y for x, y in outcomes)
+
+    def test_composite_rng_pins_members_regardless_of_construction(self):
+        """One seed reproduces the whole stack even when the members were
+        built with (decorrelated, order-dependent) default streams."""
+        def build(seed):
+            members = (BernoulliLoss(0.4), GilbertElliottLoss(loss_bad=1.0))
+            return CompositeLoss(*members, rng=random.Random(seed))
+
+        a, b = build(11), build(11)
+        assert [a.drops(0.0) for _ in range(512)] == [b.drops(0.0) for _ in range(512)]
+        c, d = build(11), build(12)
+        assert [c.drops(0.0) for _ in range(512)] != [d.drops(0.0) for _ in range(512)]
+
+    def test_composite_reseed_preserves_member_parameters(self):
+        base = GilbertElliottLoss(p_good_to_bad=1.0, p_bad_to_good=0.0,
+                                  loss_good=0.0, loss_bad=1.0)
+        model = CompositeLoss(base, rng=random.Random(0))
+        model.drops(0.0)
+        rebuilt = model._models[0]
+        assert rebuilt is not base
+        assert rebuilt.in_bad_state  # p_good_to_bad=1.0 carried over

@@ -63,8 +63,32 @@ def test_unknown_command_rejected():
 def test_parser_lists_all_demos():
     parser = build_parser()
     help_text = parser.format_help()
-    for cmd in ("quickstart", "dis", "ticker", "failover", "live", "web", "headline", "metrics", "bench"):
+    for cmd in ("quickstart", "dis", "ticker", "failover", "live", "web", "headline", "metrics", "bench", "chaos"):
         assert cmd in help_text
+
+
+def test_chaos_quick_writes_json(tmp_path, capsys):
+    import json
+
+    assert main([
+        "chaos", "--quick", "--seed", "4", "--runs", "1", "--engine", "fast",
+        "--out", str(tmp_path),
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "chaos campaign" in out and "violations=0" in out
+    report = json.loads((tmp_path / "CHAOS_seed4.json").read_text())
+    assert report["campaign"]["tier"] == "quick"
+    assert report["totals"]["violations"] == 0
+    assert report["failures"] == []
+
+
+def test_chaos_sabotage_exits_nonzero(tmp_path, capsys):
+    assert main([
+        "chaos", "--quick", "--seed", "4", "--runs", "1", "--engine", "fast",
+        "--sabotage", "logger-retrans", "--out", str(tmp_path),
+    ]) == 1
+    out = capsys.readouterr().out
+    assert "FAILURE" in out and "--seed 4" in out
 
 
 def test_bench_quick_writes_json(tmp_path, capsys):
