@@ -2,10 +2,21 @@
 
 :class:`AioCluster` is the asyncio counterpart of
 :class:`repro.simnet.deploy.LbrmDeployment`: it starts a primary logger
-(plus optional replicas), a source, and N receivers as real asyncio
-endpoints on loopback, wiring the dynamically-assigned socket addresses
-together in dependency order (loggers before the sender, because the
-sender needs the primary's port).
+(plus optional replicas and site secondaries), a source, and N receivers
+as real asyncio endpoints on loopback, wiring the dynamically-assigned
+socket addresses together in dependency order (loggers before the
+sender, because the sender needs the primary's port).
+
+Site secondaries (``n_secondaries``) reproduce the paper's hierarchy
+(§2.2.2) on real sockets: receivers NACK their site logger first, which
+answers repairs by unicast from its own log and collapses duplicate
+NACKs before escalating to the primary.
+
+With ``use_discovery=True`` receivers locate their logger at runtime via
+expanding-ring scoped multicast (§2.2.1) instead of static wiring: each
+receiver node carries a :class:`~repro.core.discovery.DiscoveryClient`,
+installs the discovered chain on success, and falls back to the static
+primary address when every ring up to ``max_ttl`` stays silent.
 
 Used by ``examples/asyncio_live.py``-style demos and the aio integration
 tests; on a real LAN, pass each node's interface address instead of the
@@ -17,8 +28,10 @@ from __future__ import annotations
 import asyncio
 
 from repro.aio.groupmap import GroupDirectory
-from repro.aio.node import AioNode, parse_token
-from repro.core.config import LbrmConfig
+from repro.aio.node import AioNode, addr_token, parse_token
+from repro.core.config import DiscoveryConfig, LbrmConfig
+from repro.core.discovery import DiscoveryClient
+from repro.core.events import DiscoveryExhausted, Event, LoggerDiscovered
 from repro.core.logger import LoggerRole, LogServer
 from repro.core.receiver import LbrmReceiver
 from repro.core.retranschannel import RetransChannelConfig
@@ -37,6 +50,9 @@ class AioCluster:
         *,
         n_receivers: int = 2,
         n_replicas: int = 0,
+        n_secondaries: int = 0,
+        use_discovery: bool = False,
+        discovery: DiscoveryConfig | None = None,
         enable_statack: bool = False,
         retrans_channel: RetransChannelConfig | None = None,
         directory: GroupDirectory | None = None,
@@ -48,6 +64,9 @@ class AioCluster:
         self._interface = interface
         self._n_receivers = n_receivers
         self._n_replicas = n_replicas
+        self._n_secondaries = n_secondaries
+        self._use_discovery = use_discovery
+        self._discovery_config = discovery or DiscoveryConfig()
         self._enable_statack = enable_statack
         self._retrans_channel = retrans_channel
 
@@ -55,10 +74,13 @@ class AioCluster:
         self.primary_node: AioNode | None = None
         self.replicas: list[LogServer] = []
         self.replica_nodes: list[AioNode] = []
+        self.secondaries: list[LogServer] = []
+        self.secondary_nodes: list[AioNode] = []
         self.sender: LbrmSender | None = None
         self.sender_node: AioNode | None = None
         self.receivers: list[LbrmReceiver] = []
         self.receiver_nodes: list[AioNode] = []
+        self.discovery_clients: list[DiscoveryClient] = []
         self._started = False
 
     # -- lifecycle ----------------------------------------------------------
@@ -92,6 +114,22 @@ class AioCluster:
         self.primary_node.machines.append(self.primary)
         await self.primary_node.run_machine(self.primary.start, self.primary_node.now)
 
+        # Site secondaries: each joins the group, logs the stream, and
+        # serves nearby receivers; its parent (escalation target) is the
+        # primary's unicast address.
+        for i in range(self._n_secondaries):
+            node = AioNode(directory=self.directory, interface=self._interface)
+            await node.start()
+            secondary = LogServer(
+                self.group, addr_token=node.token, config=self.config,
+                role=LoggerRole.SECONDARY, level=1,
+                parent=self.primary_node.address,
+            )
+            node.machines.append(secondary)
+            await node.run_machine(secondary.start, node.now)
+            self.secondaries.append(secondary)
+            self.secondary_nodes.append(node)
+
         self.sender_node = AioNode(directory=self.directory, interface=self._interface)
         await self.sender_node.start()
         self.sender = LbrmSender(
@@ -101,27 +139,74 @@ class AioCluster:
             enable_statack=self._enable_statack,
             retrans_channel=self._retrans_channel,
             addr_token=self.sender_node.token,
+            # Tuple addresses must re-render as "host:port" tokens after a
+            # failover; str() would produce an unparseable repr.
+            format_token=addr_token,
         )
         self.sender_node.machines.append(self.sender)
         await self.sender_node.run_machine(self.sender.start, self.sender_node.now)
         self.primary.set_source(self.sender_node.address)
         for replica in self.replicas:
             replica.set_source(self.sender_node.address)
+        for secondary in self.secondaries:
+            secondary.set_source(self.sender_node.address)
 
         for i in range(self._n_receivers):
             node = AioNode(directory=self.directory, interface=self._interface)
             await node.start()
             receiver = LbrmReceiver(
                 self.group, self.config.receiver,
-                logger_chain=(self.primary_node.address,),
+                logger_chain=() if self._use_discovery else self._static_chain(i),
                 source=self.sender_node.address,
                 heartbeat=self.config.heartbeat,
                 parse_token=parse_token,
             )
             node.machines.append(receiver)
             await node.run_machine(receiver.start, node.now)
+            if self._use_discovery:
+                client = DiscoveryClient(
+                    self.group, self._discovery_config, parse_token=parse_token
+                )
+                node.machines.append(client)
+                node.on_event = self._make_discovery_handler(receiver)
+                self.discovery_clients.append(client)
+                await node.run_machine(client.start, node.now)
             self.receivers.append(receiver)
             self.receiver_nodes.append(node)
+
+    def _static_chain(self, receiver_index: int) -> tuple:
+        """Recovery chain for one receiver: its site logger, then the
+        primary (round-robin assignment across secondaries)."""
+        assert self.primary_node is not None
+        if not self.secondary_nodes:
+            return (self.primary_node.address,)
+        site = self.secondary_nodes[receiver_index % len(self.secondary_nodes)]
+        return (site.address, self.primary_node.address)
+
+    def _make_discovery_handler(self, receiver: LbrmReceiver):
+        """Event tap installing the discovered (or fallback) chain."""
+
+        def on_event(event: Event, now: float) -> None:
+            assert self.primary_node is not None
+            if isinstance(event, LoggerDiscovered):
+                chain = (event.logger,)
+                if event.logger != self.primary_node.address:
+                    chain += (self.primary_node.address,)
+                receiver.set_logger_chain(chain)
+            elif isinstance(event, DiscoveryExhausted):
+                # §2.2.1: every ring stayed silent — fall back to the
+                # statically configured primary.
+                receiver.set_logger_chain((self.primary_node.address,))
+
+        return on_event
+
+    async def wait_discovery(self, timeout: float = 10.0) -> None:
+        """Block until every discovery client resolved (found or gave up)."""
+        deadline = asyncio.get_running_loop().time() + timeout
+        while any(c.searching for c in self.discovery_clients):
+            if asyncio.get_running_loop().time() >= deadline:
+                raise TimeoutError("discovery did not resolve in time")
+            await asyncio.sleep(0.05)
 
     async def publish(self, payload: bytes) -> int:
         """Multicast application data; returns the sequence number."""
@@ -143,6 +228,7 @@ class AioCluster:
         nodes.extend(self.replica_nodes)
         if self.primary_node is not None:
             nodes.append(self.primary_node)
+        nodes.extend(self.secondary_nodes)
         if self.sender_node is not None:
             nodes.append(self.sender_node)
         nodes.extend(self.receiver_nodes)

@@ -50,24 +50,39 @@ def addr_token(addr: tuple[str, int]) -> str:
 
 
 def parse_token(token: str) -> tuple[str, int]:
-    """Parse a ``host:port`` wire token back into an address tuple."""
+    """Parse a ``host:port`` wire token back into an address tuple.
+
+    Port validation is strict ASCII: ``str.isdigit`` accepts non-ASCII
+    decimal digits (e.g. ``"٣"``) that ``int()`` happily parses, which
+    would let a malformed token smuggle through; and a syntactically
+    clean port above 65535 can never name a UDP endpoint.
+    """
     host, _, port = token.rpartition(":")
-    if not host or not port.isdigit():
+    if not host or not port or not all("0" <= ch <= "9" for ch in port):
         raise ValueError(f"malformed address token {token!r}")
-    return host, int(port)
+    value = int(port)
+    if value > 65535:
+        raise ValueError(f"port out of range (> 65535) in address token {token!r}")
+    return host, value
 
 
 class _Endpoint(asyncio.DatagramProtocol):
-    """Datagram protocol funnelling packets into the node."""
+    """Datagram protocol funnelling packets into the node.
 
-    def __init__(self, node: "AioNode") -> None:
+    Group endpoints remember which group they serve so the node can drop
+    datagrams that reached the socket only because two groups share a
+    UDP port (wildcard-bind platforms deliver those cross-group).
+    """
+
+    def __init__(self, node: "AioNode", group: str | None = None) -> None:
         self._node = node
+        self._group = group
 
     def datagram_received(self, data: bytes, addr: tuple[str, int]) -> None:
-        self._node._datagram(data, addr)
+        self._node._datagram(data, addr, group=self._group)
 
     def error_received(self, exc: OSError) -> None:  # pragma: no cover - OS dependent
-        self._node.stats["socket_errors"] += 1
+        self._node._socket_error(exc)
 
 
 class AioNode:
@@ -83,6 +98,7 @@ class AioNode:
         directory: GroupDirectory | None = None,
         on_deliver: Callable[[Deliver, float], None] | None = None,
         on_event: Callable[[Event, float], None] | None = None,
+        on_send: Callable[[Action, float], None] | None = None,
     ) -> None:
         self.machines: list[ProtocolMachine] = list(machines or [])
         self._host = host
@@ -91,6 +107,10 @@ class AioNode:
         self._directory = directory or GroupDirectory()
         self._on_deliver = on_deliver
         self._on_event = on_event
+        # Observation tap on outbound traffic (SendUnicast/SendMulticast),
+        # used by the live invariant oracle to timestamp source activity
+        # without wrapping transports.
+        self._on_send = on_send
 
         self._loop: asyncio.AbstractEventLoop | None = None
         self._unicast_transport: asyncio.DatagramTransport | None = None
@@ -106,7 +126,14 @@ class AioNode:
         self.events: list[Event] = []
         self.stats = obs.stat_counters(
             "aio.node",
-            {"rx": 0, "tx_unicast": 0, "tx_multicast": 0, "decode_errors": 0, "socket_errors": 0},
+            {
+                "rx": 0,
+                "tx_unicast": 0,
+                "tx_multicast": 0,
+                "decode_errors": 0,
+                "socket_errors": 0,
+                "group_mismatches": 0,
+            },
         )
 
     # -- introspection ----------------------------------------------------
@@ -117,6 +144,27 @@ class AioNode:
         if self._addr is None:
             raise RuntimeError("node not started")
         return self._addr
+
+    @property
+    def closed(self) -> bool:
+        """True once :meth:`close` ran — the live twin of a crashed node."""
+        return self._closed
+
+    @property
+    def on_event(self) -> Callable[[Event, float], None] | None:
+        return self._on_event
+
+    @on_event.setter
+    def on_event(self, fn: Callable[[Event, float], None] | None) -> None:
+        self._on_event = fn
+
+    @property
+    def on_send(self) -> "Callable[[Action, float], None] | None":
+        return self._on_send
+
+    @on_send.setter
+    def on_send(self, fn: "Callable[[Action, float], None] | None") -> None:
+        self._on_send = fn
 
     @property
     def token(self) -> str:
@@ -177,7 +225,9 @@ class AioNode:
         assert self._loop is not None
         addr, port = self._directory.resolve(group)
         sock = make_multicast_recv_socket(addr, port, self._interface)
-        transport, _ = await self._loop.create_datagram_endpoint(lambda: _Endpoint(self), sock=sock)
+        transport, _ = await self._loop.create_datagram_endpoint(
+            lambda: _Endpoint(self, group=group), sock=sock
+        )
         self._group_transports[group] = transport
 
     def leave_group(self, group: str) -> None:
@@ -192,7 +242,17 @@ class AioNode:
 
     # -- datagram path ----------------------------------------------------
 
-    def _datagram(self, data: bytes, addr: tuple[str, int]) -> None:
+    def _socket_error(self, exc: OSError) -> None:
+        """Count a transport-reported socket error, mirrored into obs.
+
+        The registry counter is resolved at error time (not construction
+        time) so live socket trouble shows up in ``repro metrics`` even
+        when recording was switched on after the node was built.
+        """
+        self.stats["socket_errors"] += 1
+        obs.registry().counter("aio.socket_errors").inc()
+
+    def _datagram(self, data: bytes, addr: tuple[str, int], group: str | None = None) -> None:
         if self._closed:
             return
         try:
@@ -200,6 +260,15 @@ class AioNode:
         except DecodeError:
             self.stats["decode_errors"] += 1
             return
+        if group is not None:
+            # Wildcard-bound platforms deliver every group sharing this
+            # port to this socket; accept only the endpoint's own group
+            # (or its subchannels, e.g. the "<group>/retrans" channel,
+            # whose packets carry the base group name).
+            pgroup = getattr(packet, "group", None)
+            if pgroup is not None and pgroup != group and not group.startswith(pgroup + "/"):
+                self.stats["group_mismatches"] += 1
+                return
         self.stats["rx"] += 1
         now = self.now
         actions: list[Action] = []
@@ -235,8 +304,15 @@ class AioNode:
             if isinstance(action, SendUnicast):
                 self.stats["tx_unicast"] += 1
                 assert self._unicast_transport is not None
-                self._unicast_transport.sendto(encode(action.packet), action.dest)
+                if self._on_send is not None:
+                    self._on_send(action, self.now)
+                try:
+                    self._unicast_transport.sendto(encode(action.packet), action.dest)
+                except OSError as exc:
+                    self._socket_error(exc)
             elif isinstance(action, SendMulticast):
+                if self._on_send is not None:
+                    self._on_send(action, self.now)
                 self._send_multicast(action)
             elif isinstance(action, Deliver):
                 self.delivered.append(action)
@@ -262,9 +338,13 @@ class AioNode:
         if action.ttl is not None:
             set_multicast_ttl(self._mcast_send_sock, action.ttl)
         addr, port = self._directory.resolve(action.group)
-        self._mcast_send_transport.sendto(encode(action.packet), (addr, port))
-        if action.ttl is not None:
-            set_multicast_ttl(self._mcast_send_sock, 1)
+        try:
+            self._mcast_send_transport.sendto(encode(action.packet), (addr, port))
+        except OSError as exc:
+            self._socket_error(exc)
+        finally:
+            if action.ttl is not None:
+                set_multicast_ttl(self._mcast_send_sock, 1)
 
     # -- wakeup plumbing ----------------------------------------------------
 

@@ -33,14 +33,26 @@ def make_unicast_socket(host: str = "127.0.0.1", port: int = 0) -> socket.socket
 def make_multicast_recv_socket(
     group_addr: str, port: int, interface: str = DEFAULT_INTERFACE
 ) -> socket.socket:
-    """A socket joined to ``group_addr`` and bound to its port."""
+    """A socket joined to ``group_addr`` and bound to its port.
+
+    Where the platform allows it (Linux, BSDs) the socket is bound to
+    the *group address* itself, so the kernel filters out datagrams sent
+    to other groups that happen to share the port — without this, two
+    groups hashed onto one port cross-deliver each other's traffic.
+    Platforms that reject multicast binds (Windows) fall back to the
+    wildcard bind; the node layer still drops mismatched groups by
+    decoded group name.
+    """
     sock = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
     sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
     # SO_REUSEPORT lets several local endpoints (receivers in one test
     # process) share the group port, mirroring distinct hosts on a LAN.
     if hasattr(socket, "SO_REUSEPORT"):
         sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEPORT, 1)
-    sock.bind(("", port))
+    try:
+        sock.bind((group_addr, port))
+    except OSError:
+        sock.bind(("", port))
     mreq = struct.pack("4s4s", socket.inet_aton(group_addr), socket.inet_aton(interface))
     sock.setsockopt(socket.IPPROTO_IP, socket.IP_ADD_MEMBERSHIP, mreq)
     sock.setblocking(False)

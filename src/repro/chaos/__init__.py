@@ -17,11 +17,17 @@ inside individual tests into one reusable layer:
 * :mod:`repro.chaos.campaign` — the randomized conformance campaign
   behind ``repro chaos``: seeded schedule sampling, runs under both
   engines, reproducer seeds and schedule minimization on violation.
+* :mod:`repro.chaos.invariants` — :class:`InvariantLedger`, the
+  transport-agnostic judgement shared by both oracles.
+* :mod:`repro.chaos.live` — :class:`LiveOracle`, the same invariants
+  checked against a real-UDP :class:`~repro.aio.cluster.AioCluster`.
 """
 
 from repro.chaos.campaign import run_campaign, sample_schedule
 from repro.chaos.controller import ChaosController
-from repro.chaos.oracle import ChaosOracle, Violation
+from repro.chaos.invariants import InvariantLedger, Violation
+from repro.chaos.live import LiveOracle
+from repro.chaos.oracle import ChaosOracle
 from repro.chaos.schedule import Fault, FaultSchedule, PacketChaos
 
 __all__ = [
@@ -30,6 +36,8 @@ __all__ = [
     "PacketChaos",
     "ChaosController",
     "ChaosOracle",
+    "InvariantLedger",
+    "LiveOracle",
     "Violation",
     "run_campaign",
     "sample_schedule",

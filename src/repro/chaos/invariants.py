@@ -1,0 +1,216 @@
+"""Transport-agnostic bookkeeping for the LBRM protocol invariants.
+
+:class:`InvariantLedger` holds the state and judgement logic behind the
+receiver-reliability invariants I1–I4 (DESIGN.md §7) without knowing
+*where* the observations come from.  Two adapters drive it:
+
+* :class:`~repro.chaos.oracle.ChaosOracle` feeds it from a simulated
+  :class:`~repro.simnet.deploy.LbrmDeployment` (network observer taps,
+  simulator-scheduled sweeps);
+* :class:`~repro.chaos.live.LiveOracle` feeds it from a real-UDP
+  :class:`~repro.aio.cluster.AioCluster` (node ``on_send``/``on_event``
+  taps, asyncio-scheduled sweeps).
+
+Keeping the judgement in one place guarantees the live path is graded
+against exactly the invariants the simulator is — a conformance result
+from either engine means the same thing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro import obs
+from repro.core.config import HeartbeatConfig
+from repro.core.logger import LoggerRole
+from repro.core.packets import PacketType
+
+__all__ = ["InvariantLedger", "Violation", "SOURCE_TYPES"]
+
+#: Packet types that prove the source is alive (I2's silence clock).
+SOURCE_TYPES = frozenset(
+    {int(PacketType.DATA), int(PacketType.HEARTBEAT), int(PacketType.RETRANS)}
+)
+
+
+@dataclass(frozen=True, slots=True)
+class Violation:
+    """One observed invariant breach."""
+
+    invariant: str  # "delivery" | "silence" | "log-safety" | "log-completeness" | "promotion"
+    time: float
+    subject: str
+    detail: str
+
+    def to_dict(self) -> dict:
+        return {
+            "invariant": self.invariant,
+            "time": self.time,
+            "subject": self.subject,
+            "detail": self.detail,
+        }
+
+
+class InvariantLedger:
+    """Accumulates observations and records invariant violations.
+
+    Adapters call the ``on_*`` methods as events arrive and the
+    ``check_*`` methods from their periodic sweeps / end-of-run hooks;
+    each check appends to :attr:`violations` (and bumps the
+    ``chaos.violations`` obs counter) when its invariant is breached.
+    """
+
+    def __init__(
+        self,
+        heartbeat: HeartbeatConfig,
+        *,
+        silence_slack: float = 2.0,
+        grace: float = 0.25,
+    ) -> None:
+        self.violations: list[Violation] = []
+        self._hb = heartbeat
+        self._slack = silence_slack
+        self._grace = grace
+        self._last_tx: float | None = None
+        self._expected = heartbeat.h_min
+        self._silence_reported_at: float | None = None
+        self._safety_reported: tuple[int, int] | None = None
+        # Last role each primary-capable machine was seen in (I4's
+        # no-demotion check), keyed by the adapter's subject name.
+        self._roles: dict[str, LoggerRole] = {}
+        self._promotions: list[tuple[float, str, int]] = []
+        self._promoted: set[str] = set()
+        self._obs_violations = obs.registry().counter("chaos.violations")
+
+    def record(self, invariant: str, time: float, subject: str, detail: str) -> None:
+        self.violations.append(
+            Violation(invariant=invariant, time=time, subject=subject, detail=detail)
+        )
+        self._obs_violations.inc()
+
+    # -- I2: bounded sender silence ---------------------------------------
+
+    def on_source_tx(self, ptype: int, now: float, hb_index: int = 0) -> None:
+        """One source transmission (data/heartbeat/retrans) was observed."""
+        if self._last_tx is None or now > self._last_tx:
+            self._last_tx = now
+        if ptype == int(PacketType.DATA):
+            self._expected = self._hb.h_min
+        elif ptype == int(PacketType.HEARTBEAT):
+            hb = self._hb
+            self._expected = min(hb.h_min * hb.backoff**hb_index, hb.h_max)
+        # RETRANS proves liveness but does not reset the heartbeat clock.
+
+    def reset_silence_clock(self, now: float) -> None:
+        """A crashed or paused source is entitled to silence; give it one
+        fresh interval after recovery."""
+        self._last_tx = now
+
+    def check_silence(self, now: float) -> None:
+        """I2: the source is never silent beyond its heartbeat promise."""
+        if self._last_tx is None:
+            return  # nothing sent yet; the promise starts with the stream
+        silent = now - self._last_tx
+        allowed = self._slack * self._expected + self._grace
+        if silent > allowed:
+            # One report per silence episode, not one per sweep.
+            if self._silence_reported_at != self._last_tx:
+                self._silence_reported_at = self._last_tx
+                self.record(
+                    "silence", now, "source",
+                    f"silent {silent:.3f}s, allowed {allowed:.3f}s "
+                    f"(expected interval {self._expected:.3f}s x slack {self._slack})",
+                )
+
+    # -- I3: log safety / completeness -------------------------------------
+
+    def check_log_safety(self, now: float, released: int, held: int) -> None:
+        """I3 (safety): released data is still held by some log."""
+        if released == 0:
+            return
+        if released > held and self._safety_reported != (released, held):
+            self._safety_reported = (released, held)
+            self.record(
+                "log-safety", now, "source",
+                f"source released through seq {released} but the best live "
+                f"log holds only {held} contiguously",
+            )
+
+    def check_log_completeness(
+        self, now: float, subject: str, primary_seq: int, high: int
+    ) -> None:
+        """I3 (completeness): a live log ends at the sender's high-water mark."""
+        if primary_seq < high:
+            self.record(
+                "log-completeness", now, subject,
+                f"holds contiguously through {primary_seq}, "
+                f"sender high-water mark is {high}",
+            )
+
+    def check_current_primary(
+        self, now: float, subject: str, primary_seq: int, released: int
+    ) -> None:
+        """The logger the sender trusts must cover everything discarded."""
+        if primary_seq < released:
+            self.record(
+                "log-completeness", now, subject,
+                f"current primary holds through {primary_seq}, "
+                f"source already released through {released}",
+            )
+
+    # -- I4: monotone promotion ---------------------------------------------
+
+    def observe_role(self, subject: str, role: LoggerRole, now: float) -> None:
+        """I4 (part): once PRIMARY, always PRIMARY."""
+        last = self._roles.get(subject)
+        if last is LoggerRole.PRIMARY and role is not LoggerRole.PRIMARY:
+            self.record("promotion", now, subject, f"demoted from PRIMARY to {role.name}")
+        self._roles[subject] = role
+
+    def on_promotion(self, subject: str, from_seq: int, now: float) -> None:
+        """I4 (part): promotions are one-shot and sequence-monotone."""
+        if subject in self._promoted:
+            self.record("promotion", now, subject, "promoted to PRIMARY a second time")
+        self._promoted.add(subject)
+        if self._promotions:
+            _, prev_name, prev_seq = self._promotions[-1]
+            if from_seq < prev_seq:
+                self.record(
+                    "promotion", now, subject,
+                    f"promoted from_seq {from_seq} after {prev_name} "
+                    f"was promoted at from_seq {prev_seq}",
+                )
+        self._promotions.append((now, subject, from_seq))
+
+    # -- I1: eventual gap-free delivery -------------------------------------
+
+    def check_delivery(
+        self, now: float, subject: str, tracker, high: int, recovery_failures: int
+    ) -> None:
+        """I1: one live receiver ends gap-free with nothing abandoned."""
+        if not tracker.started:
+            if high:
+                self.record(
+                    "delivery", now, subject,
+                    f"never received anything; sender reached seq {high}",
+                )
+            return
+        # The obligation starts at the receiver's baseline: a receiver
+        # whose first observation was seq k (it joined, or rejoined the
+        # reachable world, mid-stream) owes itself k.. but not earlier
+        # history — that is recovered at the application level (§5).
+        base = tracker.first_seen
+        gaps = [seq for seq in range(base, high + 1) if not tracker.has(seq)]
+        if gaps:
+            shown = ", ".join(str(s) for s in gaps[:8])
+            more = f" (+{len(gaps) - 8} more)" if len(gaps) > 8 else ""
+            self.record(
+                "delivery", now, subject,
+                f"missing seq {shown}{more} of {base}..{high} at end of run",
+            )
+        if recovery_failures:
+            plural = "y" if recovery_failures == 1 else "ies"
+            self.record(
+                "delivery", now, subject,
+                f"abandoned {recovery_failures} recover{plural}",
+            )

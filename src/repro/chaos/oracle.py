@@ -1,4 +1,4 @@
-"""Runtime protocol-invariant oracle for LBRM deployments.
+"""Runtime protocol-invariant oracle for simulated LBRM deployments.
 
 :class:`ChaosOracle` attaches to a built
 :class:`~repro.simnet.deploy.LbrmDeployment` and checks, while the
@@ -21,20 +21,23 @@ invariants the paper's §2 argues for (DESIGN.md §7 catalogues them):
   PRIMARY role, a replica is promoted at most once, and successive
   promotions hand over at non-decreasing sequence numbers.
 
-The oracle is read-only: it chains (never replaces) the network
-observer, taps replica promotion events, and sweeps deployment state on
-a periodic simulator event — a run with the oracle attached is
-packet-for-packet identical to one without.
+The judgement logic lives in the transport-agnostic
+:class:`~repro.chaos.invariants.InvariantLedger`; this class is the
+simulator adapter (its real-UDP twin is
+:class:`~repro.chaos.live.LiveOracle`).  The oracle is read-only: it
+chains (never replaces) the network observer, taps replica promotion
+events, and sweeps deployment state on a periodic simulator event — a
+run with the oracle attached is packet-for-packet identical to one
+without.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
-from repro import obs
+from repro.chaos.invariants import SOURCE_TYPES, InvariantLedger, Violation
 from repro.core.events import PromotedToPrimary
-from repro.core.logger import LoggerRole, LogServer
+from repro.core.logger import LogServer
 from repro.core.packets import PacketType
 from repro.simnet.deploy import LbrmDeployment
 
@@ -44,29 +47,9 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 __all__ = ["ChaosOracle", "Violation"]
 
-_SOURCE_TYPES = frozenset({int(PacketType.DATA), int(PacketType.HEARTBEAT), int(PacketType.RETRANS)})
-
-
-@dataclass(frozen=True, slots=True)
-class Violation:
-    """One observed invariant breach."""
-
-    invariant: str  # "delivery" | "silence" | "log-safety" | "log-completeness" | "promotion"
-    time: float
-    subject: str
-    detail: str
-
-    def to_dict(self) -> dict:
-        return {
-            "invariant": self.invariant,
-            "time": self.time,
-            "subject": self.subject,
-            "detail": self.detail,
-        }
-
 
 class ChaosOracle:
-    """Continuous invariant checking for one deployment.
+    """Continuous invariant checking for one simulated deployment.
 
     Parameters
     ----------
@@ -98,26 +81,18 @@ class ChaosOracle:
     ) -> None:
         self.deployment = deployment
         self.controller = controller
-        self.violations: list[Violation] = []
-        self._slack = silence_slack
-        self._grace = grace
+        self.ledger = InvariantLedger(
+            deployment.spec.config.heartbeat, silence_slack=silence_slack, grace=grace
+        )
         self._interval = check_interval
         self._require_delivery = require_delivery
         self._require_full_logs = require_full_logs
         self._installed = False
         self._finished = False
-        hb = deployment.spec.config.heartbeat
-        self._hb = hb
-        self._last_tx: float | None = None
-        self._expected = hb.h_min
-        self._silence_reported_at: float | None = None
-        self._safety_reported: tuple[int, int] | None = None
-        # Machines that may ever hold the PRIMARY role, with the last
-        # role each was seen in (I4's no-demotion check).
-        self._roles: dict[int, tuple[str, LoggerRole]] = {}
-        self._promotions: list[tuple[float, str, int]] = []
-        self._promoted_nodes: set[str] = set()
-        self._obs_violations = obs.registry().counter("chaos.violations")
+
+    @property
+    def violations(self) -> list[Violation]:
+        return self.ledger.violations
 
     # -- wiring ----------------------------------------------------------
 
@@ -130,31 +105,22 @@ class ChaosOracle:
         network = dep.network
         chained = network.observer
         network.observer = self._make_observer(chained)
+        now = dep.sim.now
         for machine, _node in self._primary_capable():
-            self._roles[id(machine)] = (machine.addr_token, machine.role)
+            self.ledger.observe_role(machine.addr_token, machine.role, now)
         for node in dep.replica_nodes:
             self._hook_promotions(node)
-        dep.sim.schedule(dep.sim.now + self._interval, self._sweep)
+        dep.sim.schedule(now + self._interval, self._sweep)
 
     def _make_observer(self, chained):
         def observe(kind: str, packet: "Packet", src: str, dst: str, now: float) -> None:
             if chained is not None:
                 chained(kind, packet, src, dst, now)
-            if src == "source" and int(packet.TYPE) in _SOURCE_TYPES:
-                self._on_source_tx(packet, now)
+            if src == "source" and int(packet.TYPE) in SOURCE_TYPES:
+                hb_index = packet.hb_index if int(packet.TYPE) == int(PacketType.HEARTBEAT) else 0
+                self.ledger.on_source_tx(int(packet.TYPE), now, hb_index=hb_index)
 
         return observe
-
-    def _on_source_tx(self, packet: "Packet", now: float) -> None:
-        if self._last_tx is None or now > self._last_tx:
-            self._last_tx = now
-        ptype = int(packet.TYPE)
-        if ptype == int(PacketType.DATA):
-            self._expected = self._hb.h_min
-        elif ptype == int(PacketType.HEARTBEAT):
-            hb = self._hb
-            self._expected = min(hb.h_min * hb.backoff ** packet.hb_index, hb.h_max)
-        # RETRANS proves liveness but does not reset the heartbeat clock.
 
     def _hook_promotions(self, node) -> None:
         chained = node._on_event
@@ -167,6 +133,9 @@ class ChaosOracle:
                 chained(event, now)
 
         node._on_event = on_event
+
+    def _on_promotion(self, node_name: str, from_seq: int, now: float) -> None:
+        self.ledger.on_promotion(node_name, from_seq, now)
 
     # -- periodic sweep ----------------------------------------------------
 
@@ -201,33 +170,14 @@ class ChaosOracle:
             )
             raise AssertionError(f"{len(violations)} invariant violation(s):\n{lines}")
 
-    # -- invariants ----------------------------------------------------------
-
-    def _record(self, invariant: str, time: float, subject: str, detail: str) -> None:
-        self.violations.append(Violation(invariant=invariant, time=time, subject=subject, detail=detail))
-        self._obs_violations.inc()
+    # -- deployment state sweeps -------------------------------------------
 
     def _check_silence(self, now: float) -> None:
-        """I2: the source is never silent beyond its heartbeat promise."""
         source_node = self.deployment.source_node
         if source_node is None or not source_node.alive:
-            # A crashed or paused source is entitled to silence; restart
-            # the clock so it gets one fresh interval after recovery.
-            self._last_tx = now
+            self.ledger.reset_silence_clock(now)
             return
-        if self._last_tx is None:
-            return  # nothing sent yet; the promise starts with the stream
-        silent = now - self._last_tx
-        allowed = self._slack * self._expected + self._grace
-        if silent > allowed:
-            # One report per silence episode, not one per sweep.
-            if self._silence_reported_at != self._last_tx:
-                self._silence_reported_at = self._last_tx
-                self._record(
-                    "silence", now, "source",
-                    f"silent {silent:.3f}s, allowed {allowed:.3f}s "
-                    f"(expected interval {self._expected:.3f}s x slack {self._slack})",
-                )
+        self.ledger.check_silence(now)
 
     def _primary_capable(self) -> list[tuple[LogServer, object]]:
         dep = self.deployment
@@ -238,9 +188,7 @@ class ChaosOracle:
         return pairs
 
     def _check_log_safety(self, now: float) -> None:
-        """I3 (safety): released data is still held by some log.
-
-        Logs are durable in the paper's model (loggers spool to disk,
+        """Logs are durable in the paper's model (loggers spool to disk,
         §2.2.3 replicas protect against *total* loss), so a crashed or
         paused node's log still counts — what must never happen is the
         source discarding data that no log, live or recoverable, holds.
@@ -248,84 +196,26 @@ class ChaosOracle:
         sender = self.deployment.sender
         if sender is None:
             return
-        released = sender.released_up_to
-        if released == 0:
-            return
         held = 0
         for machine, _node in self._primary_capable():
             held = max(held, machine.primary_seq)
-        if released > held and self._safety_reported != (released, held):
-            self._safety_reported = (released, held)
-            self._record(
-                "log-safety", now, "source",
-                f"source released through seq {released} but the best live "
-                f"log holds only {held} contiguously",
-            )
+        self.ledger.check_log_safety(now, sender.released_up_to, held)
 
     def _check_roles(self, now: float) -> None:
-        """I4 (part): once PRIMARY, always PRIMARY."""
         for machine, _node in self._primary_capable():
-            name, last = self._roles[id(machine)]
-            current = machine.role
-            if last is LoggerRole.PRIMARY and current is not LoggerRole.PRIMARY:
-                self._record(
-                    "promotion", now, name,
-                    f"demoted from PRIMARY to {current.name}",
-                )
-            self._roles[id(machine)] = (name, current)
-
-    def _on_promotion(self, node_name: str, from_seq: int, now: float) -> None:
-        """I4 (part): promotions are one-shot and sequence-monotone."""
-        if node_name in self._promoted_nodes:
-            self._record("promotion", now, node_name, "promoted to PRIMARY a second time")
-        self._promoted_nodes.add(node_name)
-        if self._promotions:
-            _, prev_name, prev_seq = self._promotions[-1]
-            if from_seq < prev_seq:
-                self._record(
-                    "promotion", now, node_name,
-                    f"promoted from_seq {from_seq} after {prev_name} "
-                    f"was promoted at from_seq {prev_seq}",
-                )
-        self._promotions.append((now, node_name, from_seq))
+            self.ledger.observe_role(machine.addr_token, machine.role, now)
 
     def _check_delivery(self, now: float) -> None:
-        """I1: every live receiver ends gap-free with nothing abandoned."""
         dep = self.deployment
         high = dep.sender.seq if dep.sender is not None else 0
         for receiver, node in zip(dep.receivers, dep.receiver_nodes):
             if not node.alive:
                 continue  # receiver-reliability binds only live receivers
-            tracker = receiver.tracker
-            if not tracker.started:
-                if high:
-                    self._record(
-                        "delivery", now, node.name,
-                        f"never received anything; sender reached seq {high}",
-                    )
-                continue
-            # The obligation starts at the receiver's baseline: a receiver
-            # whose first observation was seq k (it joined, or rejoined the
-            # reachable world, mid-stream) owes itself k.. but not earlier
-            # history — that is recovered at the application level (§5).
-            base = tracker.first_seen
-            gaps = [seq for seq in range(base, high + 1) if not tracker.has(seq)]
-            if gaps:
-                shown = ", ".join(str(s) for s in gaps[:8])
-                more = f" (+{len(gaps) - 8} more)" if len(gaps) > 8 else ""
-                self._record(
-                    "delivery", now, node.name,
-                    f"missing seq {shown}{more} of {base}..{high} at end of run",
-                )
-            failures = receiver.stats["recovery_failures"]
-            if failures:
-                self._record(
-                    "delivery", now, node.name,
-                    f"abandoned {failures} recover{'y' if failures == 1 else 'ies'}",
-                )
+            self.ledger.check_delivery(
+                now, node.name, receiver.tracker, high, receiver.stats["recovery_failures"]
+            )
 
     def _check_log_completeness(self, now: float) -> None:
-        """I3 (completeness): live logs end at the sender's high-water mark."""
         dep = self.deployment
         sender = dep.sender
         if sender is None or sender.seq == 0:
@@ -336,21 +226,14 @@ class ChaosOracle:
         for machine, node in loggers:
             if not node.alive:
                 continue
-            if machine.primary_seq < high:
-                self._record(
-                    "log-completeness", now, node.name,
-                    f"holds contiguously through {machine.primary_seq}, "
-                    f"sender high-water mark is {high}",
-                )
+            self.ledger.check_log_completeness(now, node.name, machine.primary_seq, high)
         # The logger the sender currently trusts must cover everything
         # the source has discarded (else that data is gone for good).
         current = sender.primary
         for machine, node in self._primary_capable():
             if machine.addr_token != current:
                 continue
-            if node.alive and machine.primary_seq < sender.released_up_to:
-                self._record(
-                    "log-completeness", now, machine.addr_token,
-                    f"current primary holds through {machine.primary_seq}, "
-                    f"source already released through {sender.released_up_to}",
+            if node.alive:
+                self.ledger.check_current_primary(
+                    now, machine.addr_token, machine.primary_seq, sender.released_up_to
                 )

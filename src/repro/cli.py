@@ -15,6 +15,10 @@ Commands
                  and write machine-readable ``BENCH_*.json`` results.
 ``chaos``      — run the randomized fault-injection conformance campaign
                  (seeded schedules, invariant oracle, reproducer seeds).
+``aio-smoke``  — run a real-UDP cluster (site secondary + replica) under
+                 the live invariant oracle and write a JSON report;
+                 degrades to a "skipped" report where multicast is
+                 unroutable (hosted CI).
 """
 
 from __future__ import annotations
@@ -185,6 +189,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     build_chaos_parser(chaos)
     chaos.set_defaults(fn=run_chaos)
+    from repro.aio.smoke import build_smoke_parser, run_smoke
+
+    smoke = sub.add_parser(
+        "aio-smoke",
+        help="live-UDP conformance check (LiveOracle I1-I4) with a JSON artifact",
+    )
+    build_smoke_parser(smoke)
+    smoke.set_defaults(fn=run_smoke)
     for name, script in _DEMOS.items():
         sub.add_parser(name, help=f"run examples/{script}.py").set_defaults(fn=_cmd_demo(name))
     return parser

@@ -148,6 +148,9 @@ class StatAckConfig:
     ``initial_t_wait`` seeds the RTT estimator before any ACKs arrive,
     and ``selection_wait_factor`` scales how long the source waits for
     ACKER_RESPONSEs after a selection packet (in multiples of t_wait).
+    ``t_wait_max_widen`` caps loss-episode widening of ``t_wait`` at
+    this multiple of the EWMA RTT estimate (fresh samples decay the
+    widening back toward 1).
     """
 
     k_ackers: int = 10
@@ -157,6 +160,7 @@ class StatAckConfig:
     initial_t_wait: float = 0.1
     selection_wait_factor: float = 2.0
     initial_group_size: float = 1.0
+    t_wait_max_widen: float = 16.0
 
     def __post_init__(self) -> None:
         _require(self.k_ackers >= 1, "k_ackers must be >= 1")
@@ -166,6 +170,7 @@ class StatAckConfig:
         _require(self.initial_t_wait > 0, "initial_t_wait must be positive")
         _require(self.selection_wait_factor >= 1.0, "selection_wait_factor must be >= 1")
         _require(self.initial_group_size >= 1.0, "initial_group_size must be >= 1")
+        _require(self.t_wait_max_widen >= 1.0, "t_wait_max_widen must be >= 1")
 
 
 @dataclass(frozen=True)
@@ -200,16 +205,34 @@ class DiscoveryConfig:
     doubling up to ``max_ttl``, waiting ``query_timeout`` per ring.  If
     nothing answers at ``max_ttl`` the caller may fall back to a
     statically configured logger address.
+
+    On lossy transports a single silent window does not prove a ring
+    empty: ``ring_retries`` re-queries the same TTL that many extra
+    times before expanding, and ``timeout_backoff`` multiplies the wait
+    on each successive query (retry or expansion) so a congested network
+    gets progressively more room to answer.  The defaults (0 retries,
+    no backoff) preserve the ideal-network behaviour the simulator's
+    deterministic tests assume; real-UDP deployments pass hardened
+    values.
     """
 
     initial_ttl: int = 1
     max_ttl: int = 32
     query_timeout: float = 0.2
+    ring_retries: int = 0
+    timeout_backoff: float = 1.0
+    max_query_timeout: float = 5.0
 
     def __post_init__(self) -> None:
         _require(self.initial_ttl >= 1, "initial_ttl must be >= 1")
         _require(self.max_ttl >= self.initial_ttl, "max_ttl must be >= initial_ttl")
         _require(self.query_timeout > 0, "query_timeout must be positive")
+        _require(self.ring_retries >= 0, "ring_retries must be >= 0")
+        _require(self.timeout_backoff >= 1.0, "timeout_backoff must be >= 1")
+        _require(
+            self.max_query_timeout >= self.query_timeout,
+            "max_query_timeout must be >= query_timeout",
+        )
 
 
 @dataclass(frozen=True)

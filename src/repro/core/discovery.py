@@ -14,13 +14,21 @@ suggests.
 Replies carry the logger's address *token* (a string) plus its hierarchy
 level; several replies arriving in the same ring are ranked by level so
 a site secondary beats the primary when both are in range.
+
+On real (lossy) transports one silent window does not prove a ring
+empty: ``ring_retries`` re-queries the same TTL before expanding, and
+``timeout_backoff`` stretches the per-query wait geometrically (capped
+at ``max_query_timeout``) so congestion gets progressively more room.
+Exhaustion is surfaced both as a property and as a
+:class:`~repro.core.events.DiscoveryExhausted` notification so a harness
+can fall back to static configuration without polling.
 """
 
 from __future__ import annotations
 
 from repro.core.actions import Action, Address, Notify, SendMulticast
 from repro.core.config import DiscoveryConfig
-from repro.core.events import LoggerDiscovered
+from repro.core.events import DiscoveryExhausted, LoggerDiscovered
 from repro.core.machine import ProtocolMachine
 from repro.core.packets import DiscoveryQueryPacket, DiscoveryReplyPacket, Packet
 
@@ -46,7 +54,9 @@ class DiscoveryClient(ProtocolMachine):
         self._found: Address | None = None
         self._found_level: int | None = None
         self._exhausted = False
-        self.stats = {"queries_sent": 0, "replies_received": 0}
+        self._ring_attempts = 0  # queries already sent at the current TTL
+        self._timeout = self._config.query_timeout
+        self.stats = {"queries_sent": 0, "replies_received": 0, "ring_retries": 0}
 
     # -- introspection ----------------------------------------------------
 
@@ -79,13 +89,22 @@ class DiscoveryClient(ProtocolMachine):
         self._found = None
         self._found_level = None
         self._ring_replies = []
+        self._ring_attempts = 0
+        self._timeout = self._config.query_timeout
         return self._query(now)
 
     def _query(self, now: float) -> list[Action]:
         self.stats["queries_sent"] += 1
-        self.timers.set(("ring",), now + self._config.query_timeout)
+        self._ring_attempts += 1
+        self.timers.set(("ring",), now + self._timeout)
         query = DiscoveryQueryPacket(group=self._group, ttl=self._ttl)
         return [SendMulticast(group=self._group, packet=query, ttl=self._ttl)]
+
+    def _next_timeout(self) -> None:
+        """Back off the per-query wait after a silent window."""
+        self._timeout = min(
+            self._timeout * self._config.timeout_backoff, self._config.max_query_timeout
+        )
 
     def handle(self, packet: Packet, src: Address, now: float) -> list[Action]:
         if not isinstance(packet, DiscoveryReplyPacket) or not self._searching:
@@ -107,10 +126,27 @@ class DiscoveryClient(ProtocolMachine):
                 self._found_level = level
                 self._searching = False
                 actions.append(Notify(LoggerDiscovered(logger=logger, ttl=self._ttl)))
+            elif self._ring_attempts <= self._config.ring_retries:
+                # The window was silent, but one silent window doesn't
+                # prove the ring empty on a lossy transport: re-query the
+                # same TTL (bounded) with a widened wait before expanding.
+                self.stats["ring_retries"] += 1
+                self._next_timeout()
+                actions.extend(self._query(now))
             elif self._ttl >= self._config.max_ttl:
                 self._searching = False
                 self._exhausted = True
+                actions.append(
+                    Notify(
+                        DiscoveryExhausted(
+                            max_ttl=self._config.max_ttl,
+                            queries_sent=self.stats["queries_sent"],
+                        )
+                    )
+                )
             else:
                 self._ttl = min(self._ttl * 2, self._config.max_ttl)
+                self._ring_attempts = 0
+                self._next_timeout()
                 actions.extend(self._query(now))
         return actions

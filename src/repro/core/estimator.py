@@ -70,40 +70,70 @@ class TWaitEstimator:
     ``rtt_new`` is "the time at which the last ACK to a data packet
     arrives, up to time 2×t_wait" — the cap lets the source eventually
     assert that an ACK was genuinely lost rather than merely slow.
+
+    Loss-episode widening is kept separate from the EWMA base: ``widen``
+    grows a multiplicative *boost* on top of the RTT estimate (bounded
+    by ``max_widen``), and every clean RTT sample halves the boost's
+    excess — so ``t_wait`` recovers once a loss episode ends instead of
+    staying inflated forever.
     """
 
-    def __init__(self, alpha: float = 0.125, initial: float = 0.1) -> None:
+    def __init__(
+        self, alpha: float = 0.125, initial: float = 0.1, max_widen: float = 16.0
+    ) -> None:
         if initial <= 0:
             raise ConfigError(f"initial t_wait must be positive, got {initial}")
+        if max_widen < 1.0:
+            raise ConfigError(f"max_widen must be >= 1, got {max_widen}")
         self._ewma = EwmaEstimator(alpha=alpha, initial=initial)
+        self._max_widen = max_widen
+        self._boost = 1.0
 
     @property
     def t_wait(self) -> float:
+        return self._ewma.estimate * self._boost
+
+    @property
+    def base(self) -> float:
+        """The EWMA RTT estimate alone, with no loss-episode boost."""
         return self._ewma.estimate
+
+    @property
+    def boost(self) -> float:
+        """Current loss-episode multiplier on the EWMA base (>= 1)."""
+        return self._boost
 
     @property
     def cap(self) -> float:
         """The 2×t_wait bound on an RTT sample."""
-        return 2.0 * self._ewma.estimate
+        return 2.0 * self.t_wait
 
     def record_last_ack(self, rtt_new: float) -> float:
         """Fold in the arrival time (relative to send) of a packet's last ACK."""
         if rtt_new < 0:
             raise ValueError(f"rtt sample must be non-negative, got {rtt_new}")
-        return self._ewma.update(min(rtt_new, self.cap))
+        self._ewma.update(min(rtt_new, self.cap))
+        # A fresh sample is evidence the loss episode has (at least
+        # partly) passed: decay the widening toward 1 geometrically.
+        self._boost = 1.0 + (self._boost - 1.0) * 0.5
+        if self._boost < 1.0 + 1e-9:
+            self._boost = 1.0
+        return self.t_wait
 
-    def widen(self, factor: float = 2.0, max_value: float = 60.0) -> float:
-        """Multiplicatively inflate t_wait.
+    def widen(self, factor: float = 2.0) -> float:
+        """Multiplicatively inflate t_wait, bounded by ``max_widen``.
 
         Recovery path for a seed far below the true round-trip: when an
         Acker Selection window closes with zero responders, no ACKs can
         ever arrive to correct the estimate, so the source widens the
-        window directly before retrying the selection.
+        window directly before retrying the selection.  The boost never
+        exceeds ``max_widen`` × the EWMA base, so a persistent outage
+        cannot grow ``t_wait`` without bound.
         """
         if factor <= 1.0:
             raise ValueError(f"widen factor must be > 1, got {factor}")
-        self._ewma.reset(min(self._ewma.estimate * factor, max_value))
-        return self._ewma.estimate
+        self._boost = min(self._boost * factor, self._max_widen)
+        return self.t_wait
 
 
 @dataclass(frozen=True, slots=True)

@@ -22,6 +22,7 @@ __all__ = [
     "DesignatedAcker",
     "Remulticast",
     "LoggerDiscovered",
+    "DiscoveryExhausted",
     "LoggerUnreachable",
     "PrimaryFailover",
     "PromotedToPrimary",
@@ -116,6 +117,15 @@ class LoggerDiscovered(Event):
 
     logger: Address
     ttl: int
+
+
+@dataclass(frozen=True, slots=True)
+class DiscoveryExhausted(Event):
+    """Every discovery ring up to ``max_ttl`` stayed silent; the caller
+    should fall back to static configuration (§2.2.1)."""
+
+    max_ttl: int
+    queries_sent: int
 
 
 @dataclass(frozen=True, slots=True)

@@ -78,6 +78,12 @@ class LbrmSender(ProtocolMachine):
         Stable string naming this source on the wire (used in
         PRIMARY_INFO responses); defaults to ``str(primary)`` concerns
         aside, harnesses pass the node's own token.
+    format_token:
+        Renders an :class:`Address` as its wire token for PRIMARY_INFO
+        replies.  The simulator's addresses are already strings, so the
+        default ``str`` is the identity there; asyncio harnesses pass
+        :func:`repro.aio.node.addr_token` so a ``(host, port)`` tuple
+        crosses the wire in the ``host:port`` form receivers can parse.
     """
 
     def __init__(
@@ -91,6 +97,7 @@ class LbrmSender(ProtocolMachine):
         retrans_channel: "RetransChannelConfig | None" = None,
         rate_control: "RateControlConfig | None" = None,
         addr_token: str = "source",
+        format_token=None,
         rng: random.Random | None = None,
     ) -> None:
         super().__init__()
@@ -99,6 +106,7 @@ class LbrmSender(ProtocolMachine):
         self._primary = primary
         self._replicas = tuple(replicas)
         self._addr_token = addr_token
+        self._format_token = format_token or str
         # String-seeded: deterministic run to run without an explicit
         # RNG (str seeds hash stably), and sans-IO core stays free of
         # simulator imports.
@@ -475,4 +483,4 @@ class LbrmSender(ProtocolMachine):
         return actions
 
     def _primary_token(self) -> str:
-        return str(self._primary) if self._primary is not None else self._addr_token
+        return self._format_token(self._primary) if self._primary is not None else self._addr_token

@@ -99,7 +99,11 @@ class StatAckSource:
         self._rng = rng or random.Random("repro.core.statack")
         self._policy = SourceRetransmitPolicy(self._config)
         self._estimator = estimator or GroupSizeEstimator(alpha=self._config.alpha)
-        self._t_wait = TWaitEstimator(alpha=self._config.alpha, initial=self._config.initial_t_wait)
+        self._t_wait = TWaitEstimator(
+            alpha=self._config.alpha,
+            initial=self._config.initial_t_wait,
+            max_widen=self._config.t_wait_max_widen,
+        )
         self._hotlist = hotlist or AckerHotlist()
         # Optional §5 rate controller: fed one signal per tracked packet
         # (success on a complete ACK set, loss on a deadline shortfall).

@@ -1,0 +1,59 @@
+"""Wire-token parsing and socket-error accounting — no sockets needed."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import obs
+from repro.aio.node import AioNode, addr_token, parse_token
+
+
+class TestParseToken:
+    def test_round_trip(self):
+        assert parse_token(addr_token(("10.1.2.3", 4242))) == ("10.1.2.3", 4242)
+
+    def test_ipv6_style_host_uses_last_colon(self):
+        assert parse_token("::1:9000") == ("::1", 9000)
+
+    def test_rejects_missing_port(self):
+        with pytest.raises(ValueError):
+            parse_token("hostonly")
+        with pytest.raises(ValueError):
+            parse_token("host:")
+
+    def test_rejects_missing_host(self):
+        with pytest.raises(ValueError):
+            parse_token(":8080")
+
+    def test_rejects_non_ascii_digits(self):
+        # "٣" (ARABIC-INDIC THREE) passes str.isdigit and int(), but has
+        # no business in a wire address.
+        with pytest.raises(ValueError):
+            parse_token("host:٣٣٣")
+
+    def test_rejects_sign_and_whitespace(self):
+        for bad in ("host:+80", "host:-80", "host: 80", "host:8 0"):
+            with pytest.raises(ValueError):
+                parse_token(bad)
+
+    def test_rejects_port_above_65535(self):
+        with pytest.raises(ValueError):
+            parse_token("host:65536")
+        assert parse_token("host:65535") == ("host", 65535)
+
+
+class TestSocketErrorAccounting:
+    def test_error_bumps_node_stats_and_obs_counter(self):
+        with obs.recording() as reg:
+            node = AioNode()
+            node._socket_error(OSError("connection refused"))
+            node._socket_error(OSError("host unreachable"))
+            assert node.stats["socket_errors"] == 2
+            assert reg.counter_value("aio.socket_errors") == 2
+
+    def test_counter_resolved_lazily(self):
+        """Recording switched on *after* construction still sees errors."""
+        node = AioNode()
+        with obs.recording() as reg:
+            node._socket_error(OSError("late"))
+            assert reg.counter_value("aio.socket_errors") == 1

@@ -103,3 +103,72 @@ def test_query_counter():
     client.start(0.0)
     client.poll(0.2)
     assert client.stats["queries_sent"] == 2
+
+
+class TestRetryAndBackoff:
+    """Loss hardening for real transports: same-ring retries, widening
+    waits, and the explicit exhaustion notification."""
+
+    def test_silent_ring_requeried_before_expansion(self):
+        client = make_client(ring_retries=1)
+        client.start(0.0)
+        actions = client.poll(client.next_wakeup())
+        assert queries(actions)[0].packet.ttl == 1  # retry, not expansion
+        assert client.stats["ring_retries"] == 1
+        actions = client.poll(client.next_wakeup())
+        assert queries(actions)[0].packet.ttl == 2  # retries spent: expand
+
+    def test_retry_budget_applies_per_ring(self):
+        client = make_client(ring_retries=1, max_ttl=2)
+        client.start(0.0)
+        ttls = []
+        for _ in range(4):
+            actions = client.poll(client.next_wakeup())
+            sent = queries(actions)
+            if sent:
+                ttls.append(sent[0].packet.ttl)
+        assert ttls == [1, 2, 2]  # retry ring 1, expand, retry ring 2
+        client.poll(client.next_wakeup())
+        assert client.exhausted
+
+    def test_timeout_backs_off_geometrically_with_cap(self):
+        client = make_client(
+            query_timeout=0.2, timeout_backoff=2.0, max_query_timeout=0.5, ring_retries=0
+        )
+        client.start(0.0)
+        assert client.next_wakeup() == pytest.approx(0.2)
+        now = client.next_wakeup()
+        client.poll(now)  # expand; wait widens to 0.4
+        assert client.next_wakeup() - now == pytest.approx(0.4)
+        now = client.next_wakeup()
+        client.poll(now)  # widens to 0.8 but capped at 0.5
+        assert client.next_wakeup() - now == pytest.approx(0.5)
+
+    def test_exhaustion_emits_event(self):
+        from repro.core.events import DiscoveryExhausted
+
+        client = make_client(max_ttl=2, ring_retries=1)
+        client.start(0.0)
+        events = []
+        while client.searching:
+            for action in client.poll(client.next_wakeup()):
+                if isinstance(action, Notify):
+                    events.append(action.event)
+        exhausted = [e for e in events if isinstance(e, DiscoveryExhausted)]
+        assert len(exhausted) == 1
+        assert exhausted[0].max_ttl == 2
+        assert exhausted[0].queries_sent == client.stats["queries_sent"] == 4
+
+    def test_reply_during_retry_window_wins(self):
+        client = make_client(ring_retries=2)
+        client.start(0.0)
+        client.poll(client.next_wakeup())  # first silent window: retry
+        client.handle(DiscoveryReplyPacket(group="g", logger_addr="sec", level=1), "sec", 0.3)
+        client.poll(client.next_wakeup())
+        assert client.found == "sec"
+        assert not client.searching
+
+    def test_defaults_preserve_immediate_expansion(self):
+        cfg = DiscoveryConfig()
+        assert cfg.ring_retries == 0
+        assert cfg.timeout_backoff == 1.0

@@ -162,3 +162,51 @@ class TestTable2Math:
             nsl_stddev(-1, 0.5)
         with pytest.raises(ValueError):
             nsl_stddev_after_probes(500, 0.5, 0)
+
+
+class TestTWaitWiden:
+    """Loss-episode widening: bounded growth, sample-driven decay."""
+
+    def test_widen_inflates_t_wait(self):
+        t = TWaitEstimator(initial=0.1)
+        base = t.t_wait
+        t.widen(2.0)
+        assert t.t_wait == pytest.approx(base * 2.0)
+        assert t.base == pytest.approx(base)  # EWMA untouched
+
+    def test_widen_capped_at_max_widen(self):
+        t = TWaitEstimator(initial=0.1, max_widen=4.0)
+        for _ in range(50):
+            t.widen(1.5)
+        assert t.boost == pytest.approx(4.0)
+        assert t.t_wait == pytest.approx(0.1 * 4.0)
+
+    def test_fresh_samples_decay_boost(self):
+        t = TWaitEstimator(initial=0.1, max_widen=16.0)
+        for _ in range(10):
+            t.widen(2.0)
+        assert t.boost == pytest.approx(16.0)
+        for _ in range(40):
+            t.record_last_ack(0.1)
+        assert t.boost == pytest.approx(1.0)
+        assert t.t_wait == pytest.approx(0.1, rel=0.05)
+
+    def test_decay_is_geometric(self):
+        t = TWaitEstimator(initial=0.1)
+        t.widen(4.0)
+        t.record_last_ack(0.1)
+        assert t.boost == pytest.approx(1.0 + 3.0 * 0.5)
+
+    def test_rejects_bad_config(self):
+        with pytest.raises(ConfigError):
+            TWaitEstimator(max_widen=0.5)
+        t = TWaitEstimator()
+        with pytest.raises(ValueError):
+            t.widen(1.0)
+
+    def test_statack_config_carries_cap(self):
+        from repro.core.config import StatAckConfig
+
+        assert StatAckConfig().t_wait_max_widen == 16.0
+        with pytest.raises(Exception):
+            StatAckConfig(t_wait_max_widen=0.5)
