@@ -37,6 +37,7 @@ class PosAckDataPacket(Packet):
     payload: bytes
 
     TYPE: ClassVar[PacketType] = PacketType.POSACK_DATA
+    WIRE: ClassVar[tuple] = (("seq", "u64"), ("payload", "bytes"))
 
     def encode_body(self) -> bytes:
         return struct.pack("!Q", self.seq) + _pack_bytes(self.payload)
@@ -46,7 +47,9 @@ class PosAckDataPacket(Packet):
         if len(buf) < 8:
             raise DecodeError("truncated POSACK_DATA body")
         (seq,) = struct.unpack_from("!Q", buf, 0)
-        payload, _ = _unpack_bytes(buf, 8)
+        payload, end = _unpack_bytes(buf, 8)
+        if end != len(buf):
+            raise DecodeError("trailing garbage after POSACK_DATA body")
         return cls(group=group, seq=seq, payload=payload)
 
 
@@ -58,14 +61,15 @@ class PosAckPacket(Packet):
     cum_seq: int
 
     TYPE: ClassVar[PacketType] = PacketType.POSACK_ACK
+    WIRE: ClassVar[tuple] = (("cum_seq", "u64"),)
 
     def encode_body(self) -> bytes:
         return struct.pack("!Q", self.cum_seq)
 
     @classmethod
     def decode_body(cls, group: str, buf: memoryview) -> "PosAckPacket":
-        if len(buf) < 8:
-            raise DecodeError("truncated POSACK_ACK body")
+        if len(buf) != 8:
+            raise DecodeError("bad POSACK_ACK body length")
         (cum_seq,) = struct.unpack_from("!Q", buf, 0)
         return cls(group=group, cum_seq=cum_seq)
 

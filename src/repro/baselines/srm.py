@@ -71,14 +71,15 @@ class SrmSessionPacket(Packet):
     seq: int
 
     TYPE: ClassVar[PacketType] = PacketType.SRM_SESSION
+    WIRE: ClassVar[tuple] = (("seq", "u64"),)
 
     def encode_body(self) -> bytes:
         return struct.pack("!Q", self.seq)
 
     @classmethod
     def decode_body(cls, group: str, buf: memoryview) -> "SrmSessionPacket":
-        if len(buf) < 8:
-            raise DecodeError("truncated SRM_SESSION body")
+        if len(buf) != 8:
+            raise DecodeError("bad SRM_SESSION body length")
         (seq,) = struct.unpack_from("!Q", buf, 0)
         return cls(group=group, seq=seq)
 
@@ -91,14 +92,15 @@ class SrmRequestPacket(Packet):
     seq: int
 
     TYPE: ClassVar[PacketType] = PacketType.SRM_REQUEST
+    WIRE: ClassVar[tuple] = (("seq", "u64"),)
 
     def encode_body(self) -> bytes:
         return struct.pack("!Q", self.seq)
 
     @classmethod
     def decode_body(cls, group: str, buf: memoryview) -> "SrmRequestPacket":
-        if len(buf) < 8:
-            raise DecodeError("truncated SRM_REQUEST body")
+        if len(buf) != 8:
+            raise DecodeError("bad SRM_REQUEST body length")
         (seq,) = struct.unpack_from("!Q", buf, 0)
         return cls(group=group, seq=seq)
 
@@ -112,6 +114,7 @@ class SrmRepairPacket(Packet):
     payload: bytes
 
     TYPE: ClassVar[PacketType] = PacketType.SRM_REPAIR
+    WIRE: ClassVar[tuple] = (("seq", "u64"), ("payload", "bytes"))
 
     def encode_body(self) -> bytes:
         return struct.pack("!Q", self.seq) + _pack_bytes(self.payload)
@@ -121,7 +124,9 @@ class SrmRepairPacket(Packet):
         if len(buf) < 8:
             raise DecodeError("truncated SRM_REPAIR body")
         (seq,) = struct.unpack_from("!Q", buf, 0)
-        payload, _ = _unpack_bytes(buf, 8)
+        payload, end = _unpack_bytes(buf, 8)
+        if end != len(buf):
+            raise DecodeError("trailing garbage after SRM_REPAIR body")
         return cls(group=group, seq=seq, payload=payload)
 
 

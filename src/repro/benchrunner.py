@@ -12,10 +12,17 @@ from __future__ import annotations
 
 import argparse
 import importlib.util
+import json
 import pathlib
 import sys
 
-__all__ = ["build_bench_parser", "run_bench", "load_harness"]
+__all__ = [
+    "build_bench_parser",
+    "run_bench",
+    "load_harness",
+    "profile_scenario",
+    "check_results",
+]
 
 _HARNESS_CACHE: dict[str, object] = {}
 
@@ -45,6 +52,110 @@ def _run_one(harness_path: str, name: str, tier: str, engine: str) -> tuple[str,
     return name, engine, harness.run_scenario(name, tier=tier, engine=engine)
 
 
+def profile_scenario(
+    harness_path: str,
+    name: str,
+    tier: str,
+    engine: str,
+    out_dir: pathlib.Path,
+) -> tuple[dict, pathlib.Path, pathlib.Path]:
+    """Run one (scenario, engine) pair under cProfile.
+
+    Writes two artifacts next to the BENCH results:
+
+    * ``PROFILE_<scenario>_<engine>.pstats`` — the raw profile, loadable
+      with :mod:`pstats` and flamegraph front-ends (snakeviz, flameprof,
+      ``gprof2dot``).
+    * ``PROFILE_<scenario>_<engine>.txt`` — the top functions by
+      cumulative and by internal time, for reading in a terminal or a CI
+      log without extra tooling.
+
+    Returns ``(run_metrics, pstats_path, txt_path)``.  The metrics come
+    from the profiled run, so they carry instrumentation overhead — use
+    them for relative hotspot weights, never as throughput numbers.
+    """
+    import cProfile
+    import io
+    import pstats
+
+    harness = load_harness(harness_path)
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        run = harness.run_scenario(name, tier=tier, engine=engine)
+    finally:
+        profiler.disable()
+    out_dir.mkdir(parents=True, exist_ok=True)
+    stem = f"PROFILE_{name}_{engine}"
+    pstats_path = out_dir / f"{stem}.pstats"
+    profiler.dump_stats(pstats_path)
+
+    buf = io.StringIO()
+    stats = pstats.Stats(profiler, stream=buf)
+    stats.strip_dirs()
+    buf.write(f"# {name} [{tier}] engine={engine}\n")
+    buf.write(f"# events_per_sec (profiled, overhead-laden): {run['events_per_sec']:,.0f}\n\n")
+    buf.write("== top 30 by cumulative time ==\n")
+    stats.sort_stats("cumulative").print_stats(30)
+    buf.write("\n== top 30 by internal time ==\n")
+    stats.sort_stats("tottime").print_stats(30)
+    txt_path = out_dir / f"{stem}.txt"
+    txt_path.write_text(buf.getvalue())
+    return run, pstats_path, txt_path
+
+
+def check_results(
+    results: list[dict],
+    baseline_dir: pathlib.Path | str,
+    tolerance: float = 0.15,
+) -> list[str]:
+    """Compare fresh bench results against committed baselines.
+
+    For every assembled result whose scenario has a
+    ``BENCH_<scenario>.json`` in ``baseline_dir``, the fast engine's
+    ``events_per_sec`` must be no more than ``tolerance`` below the
+    baseline's.  Returns a list of human-readable failures (empty ⇒
+    gate passes).  Pure function — no I/O besides reading baselines — so
+    the gate itself is unit-testable.
+    """
+    baseline_dir = pathlib.Path(baseline_dir)
+    failures: list[str] = []
+    for result in results:
+        name = result["scenario"]
+        path = baseline_dir / f"BENCH_{name}.json"
+        if not path.exists():
+            failures.append(
+                f"{name}: no baseline at {path} — run `repro bench --{result['tier']} "
+                f"--out {baseline_dir}` and commit the result"
+            )
+            continue
+        baseline = json.loads(path.read_text())
+        if baseline.get("tier") != result.get("tier"):
+            failures.append(
+                f"{name}: baseline tier {baseline.get('tier')!r} does not match "
+                f"run tier {result.get('tier')!r}; compare like against like"
+            )
+            continue
+        base_run = baseline.get("engines", {}).get("fast")
+        new_run = result.get("engines", {}).get("fast")
+        if base_run is None or new_run is None:
+            failures.append(f"{name}: fast-engine metrics missing from baseline or run")
+            continue
+        base_eps = base_run["events_per_sec"]
+        new_eps = new_run["events_per_sec"]
+        floor = base_eps * (1.0 - tolerance)
+        if new_eps < floor:
+            drop = 100.0 * (1.0 - new_eps / base_eps)
+            failures.append(
+                f"{name}: events_per_sec regressed {drop:.1f}% "
+                f"({new_eps:,.0f} vs baseline {base_eps:,.0f}, floor {floor:,.0f}). "
+                f"If the slowdown is intended, refresh the baseline with "
+                f"`repro bench --{result['tier']} --out {baseline_dir}` and commit "
+                f"the updated {path.name}."
+            )
+    return failures
+
+
 def build_bench_parser(parser: argparse.ArgumentParser | None = None) -> argparse.ArgumentParser:
     if parser is None:
         parser = argparse.ArgumentParser(
@@ -66,6 +177,18 @@ def build_bench_parser(parser: argparse.ArgumentParser | None = None) -> argpars
     parser.add_argument("--out", metavar="DIR", default=None,
                         help="output directory for BENCH_*.json "
                              "(default benchmarks/results/)")
+    parser.add_argument("--profile", action="store_true",
+                        help="run each (scenario, engine) pair under cProfile and "
+                             "write PROFILE_*.pstats / PROFILE_*.txt artifacts "
+                             "(throughput numbers are not recorded: profiled runs "
+                             "carry instrumentation overhead)")
+    parser.add_argument("--check", metavar="BASELINE_DIR", default=None,
+                        help="after measuring, fail if any scenario's fast-engine "
+                             "events_per_sec fell more than the tolerance below "
+                             "the committed BENCH_*.json in BASELINE_DIR")
+    parser.add_argument("--check-tolerance", type=float, default=0.15, metavar="FRAC",
+                        help="allowed fractional events_per_sec drop for --check "
+                             "(default 0.15)")
     parser.add_argument("--harness", metavar="PATH", default=None,
                         help=argparse.SUPPRESS)
     return parser
@@ -90,6 +213,20 @@ def run_bench(args: argparse.Namespace) -> int:
     engines = ["fast", "reference"] if args.engine == "both" else [args.engine]
     out_dir = pathlib.Path(args.out) if args.out else harness.RESULTS_DIR
 
+    if getattr(args, "profile", False):
+        # Profiling replaces measurement: results are not written (they
+        # would poison the perf trajectory with instrumented numbers).
+        for name in names:
+            for engine in engines:
+                run, pstats_path, txt_path = profile_scenario(
+                    harness_path, name, args.tier, engine, out_dir
+                )
+                print(f"bench --profile {name} [{args.tier}] {engine}: "
+                      f"{run['events_per_sec']:,.0f} ev/s (instrumented)")
+                print(f"  -> {pstats_path}")
+                print(f"  -> {txt_path}")
+        return 0
+
     jobs = [(name, engine) for name in names for engine in engines]
     runs: dict[str, dict[str, dict]] = {name: {} for name in names}
     if args.jobs > 1 and len(jobs) > 1:
@@ -109,6 +246,7 @@ def run_bench(args: argparse.Namespace) -> int:
             runs[name][engine] = run
 
     failures = 0
+    results: list[dict] = []
     for name in names:
         try:
             result = harness.assemble_result(name, args.tier, runs[name])
@@ -116,6 +254,7 @@ def run_bench(args: argparse.Namespace) -> int:
             print(f"bench: FAILED {exc}", file=sys.stderr)
             failures += 1
             continue
+        results.append(result)
         path = harness.write_result(result, out_dir)
         line = f"bench {name} [{args.tier}]"
         for engine in engines:
@@ -125,4 +264,17 @@ def run_bench(args: argparse.Namespace) -> int:
             line += f"  speedup: {result['speedup']:.2f}x"
         print(line)
         print(f"  -> {path}")
+
+    check_dir = getattr(args, "check", None)
+    if check_dir:
+        gate_failures = check_results(
+            results, check_dir, tolerance=getattr(args, "check_tolerance", 0.15)
+        )
+        for failure in gate_failures:
+            print(f"bench --check: FAILED {failure}", file=sys.stderr)
+        if gate_failures:
+            failures += len(gate_failures)
+        else:
+            print(f"bench --check: OK — no scenario regressed more than "
+                  f"{getattr(args, 'check_tolerance', 0.15):.0%} vs {check_dir}")
     return 1 if failures else 0

@@ -10,12 +10,20 @@ harnesses exist — the deterministic discrete-event simulator
 Addresses are deliberately opaque: the simulator uses node-name strings
 while the asyncio runtime uses ``(host, port)`` tuples.  Machines never
 inspect addresses beyond equality and hashing.
+
+Actions are value objects: immutable, hashable, compared by type and
+fields.  They are built on :class:`~typing.NamedTuple` rather than
+frozen dataclasses because machines mint them on every packet — a
+frozen dataclass pays an ``object.__setattr__`` call per field on
+construction (~3x the cost), and ``Deliver`` alone is created hundreds
+of thousands of times per benchmark run.  Tuple equality ignores the
+class, so each action type pins ``__eq__`` to same-type comparisons.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Hashable, TYPE_CHECKING
+from abc import ABCMeta
+from typing import Hashable, NamedTuple, TYPE_CHECKING
 
 if TYPE_CHECKING:
     from repro.core.packets import Packet
@@ -39,22 +47,48 @@ Address = Hashable
 GroupId = str
 
 
-class Action:
-    """Marker base class for all protocol actions."""
+class Action(metaclass=ABCMeta):
+    """Marker base class for all protocol actions.
+
+    The concrete action types are ``NamedTuple`` subclasses (see module
+    docstring), so they register here as virtual subclasses:
+    ``isinstance(x, Action)`` keeps working.
+    """
 
     __slots__ = ()
 
 
-@dataclass(frozen=True, slots=True)
-class SendUnicast(Action):
+def _value_type(cls):
+    """Register an action NamedTuple and give it type-strict equality.
+
+    Plain tuple equality would make ``JoinGroup("g") == LeaveGroup("g")``
+    true; actions of different types must never compare equal.  The hash
+    stays the raw tuple hash (equal values ⇒ equal hashes still holds).
+    """
+
+    def __eq__(self, other, _cls=cls, _teq=tuple.__eq__):
+        return type(other) is _cls and _teq(self, other) is True
+
+    def __ne__(self, other):
+        return not self.__eq__(other)
+
+    cls.__eq__ = __eq__
+    cls.__ne__ = __ne__
+    cls.__hash__ = tuple.__hash__
+    Action.register(cls)
+    return cls
+
+
+@_value_type
+class SendUnicast(NamedTuple):
     """Transmit ``packet`` point-to-point to ``dest``."""
 
     dest: Address
     packet: "Packet"
 
 
-@dataclass(frozen=True, slots=True)
-class SendMulticast(Action):
+@_value_type
+class SendMulticast(NamedTuple):
     """Transmit ``packet`` to multicast ``group``.
 
     ``ttl`` limits propagation scope: the simulator interprets it as a
@@ -68,8 +102,8 @@ class SendMulticast(Action):
     ttl: int | None = None
 
 
-@dataclass(frozen=True, slots=True)
-class Deliver(Action):
+@_value_type
+class Deliver(NamedTuple):
     """Hand application payload up the stack.
 
     ``recovered`` is True when the payload arrived via a retransmission
@@ -83,22 +117,22 @@ class Deliver(Action):
     recovered: bool = False
 
 
-@dataclass(frozen=True, slots=True)
-class Notify(Action):
+@_value_type
+class Notify(NamedTuple):
     """Surface a protocol event (loss detected, epoch change, …)."""
 
     event: "Event"
 
 
-@dataclass(frozen=True, slots=True)
-class JoinGroup(Action):
+@_value_type
+class JoinGroup(NamedTuple):
     """Subscribe the local endpoint to multicast ``group``."""
 
     group: GroupId
 
 
-@dataclass(frozen=True, slots=True)
-class LeaveGroup(Action):
+@_value_type
+class LeaveGroup(NamedTuple):
     """Unsubscribe the local endpoint from multicast ``group``."""
 
     group: GroupId

@@ -147,6 +147,21 @@ class PacketLog:
             return self._read_spool(seq, *spooled)
         raise LogMissError(seq)
 
+    def peek(self, seq: int) -> LogEntry | None:
+        """:meth:`get` without expiry or a miss exception.
+
+        For callers that already ran :meth:`expire` and treat a miss as a
+        normal branch (the NACK service path), this replaces a
+        ``seq in log`` probe followed by ``get`` with one lookup.
+        """
+        entry = self._entries.get(seq)
+        if entry is not None:
+            return entry
+        spooled = self._spool_index.get(seq)
+        if spooled is not None:
+            return self._read_spool(seq, *spooled)
+        return None
+
     def expire(self, now: float) -> int:
         """Drop entries older than the configured lifetime.  Returns count."""
         if not self._lifetime:

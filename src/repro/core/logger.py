@@ -114,18 +114,30 @@ class LogServer(ProtocolMachine):
         self._rng = rng or random.Random("repro.core.logger")
 
         log_cfg = self._config.logger
+        # Config is frozen; these are re-read once per served NACK, so
+        # the two-attribute hops are baked into locals up front.
+        self._lifetime = log_cfg.packet_lifetime
+        self._is_secondary = role is LoggerRole.SECONDARY
         self.log = PacketLog(
             max_packets=log_cfg.max_packets,
             max_bytes=log_cfg.max_bytes,
             lifetime=log_cfg.packet_lifetime,
             spool_path=spool_path,
         )
+        # In-memory log entries, read directly on the NACK service path
+        # (PacketLog mutates this OrderedDict in place, never rebinds).
+        self._log_entries = self.log._entries
         self.tracker = SequenceTracker()
         self._site_requests = SiteRequestTracker(log_cfg)
         # seq -> requesters waiting for a packet we do not hold yet.
         self._pending: dict[int, set[Address]] = {}
         # seq -> shared frozen RetransPacket for repeat repairs.
         self._retrans_memo: dict[int, RetransPacket] = {}
+        # (seq, requester) -> shared single-action reply for repeat
+        # unicast repairs; actions are immutable value objects and every
+        # caller only iterates the returned list, so retries reuse one
+        # list instance outright.
+        self._unicast_memo: dict[tuple[int, Address], list] = {}
         # seq -> upstream retries performed so far.
         self._upstream_retries: dict[int, int] = {}
         # Sequences this server itself had to fetch from upstream.
@@ -207,13 +219,49 @@ class LogServer(ProtocolMachine):
 
     # -- inbound ----------------------------------------------------------
 
+    # Exact-type dispatch: packets are final frozen dataclasses, so one
+    # dict probe replaces the isinstance ladder on the per-packet hot
+    # path (subclasses fall through to _handle_any).  The table maps to
+    # method *names*, resolved per call, so class-level monkeypatching —
+    # the chaos campaign's unresponsive-logger fault swaps _on_nack —
+    # keeps working.
+    _HANDLER_NAMES = {
+        DataPacket: "_on_data_packet",
+        RetransPacket: "_on_data_packet",
+        HeartbeatPacket: "_on_heartbeat",
+        NackPacket: "_on_nack",
+        AckerSelectPacket: "_on_acker_select",
+        ProbePacket: "_on_probe",
+        DiscoveryQueryPacket: "_on_discovery",
+        ReplUpdatePacket: "_on_repl_update",
+        ReplAckPacket: "_on_repl_ack",
+        ReplStatusQueryPacket: "_on_repl_status",
+        PromotePacket: "_on_promote",
+    }
+
     def handle(self, packet: Packet, src: Address, now: float) -> list[Action]:
-        if isinstance(packet, DataPacket):
+        # The three packet types a busy logger actually fields get
+        # identity checks ahead of the dict probe; ``self._on_*`` calls
+        # still honour class-level monkeypatching.
+        t = type(packet)
+        if t is NackPacket:
+            return self._on_nack(packet, src, now)
+        if t is DataPacket:
             return self._on_data(packet.seq, packet.payload, packet.epoch, src, now)
-        if isinstance(packet, RetransPacket):
+        if t is HeartbeatPacket:
+            return self._on_heartbeat(packet, src, now)
+        name = self._HANDLER_NAMES.get(t)
+        if name is not None:
+            return getattr(self, name)(packet, src, now)
+        return self._handle_any(packet, src, now)
+
+    def _handle_any(self, packet: Packet, src: Address, now: float) -> list[Action]:
+        """isinstance fallback for packet subclasses (exact types take
+        the dict dispatch above)."""
+        if isinstance(packet, (DataPacket, RetransPacket)):
             return self._on_data(packet.seq, packet.payload, packet.epoch, src, now)
         if isinstance(packet, HeartbeatPacket):
-            return self._on_heartbeat(packet, now)
+            return self._on_heartbeat(packet, src, now)
         if isinstance(packet, NackPacket):
             return self._on_nack(packet, src, now)
         if isinstance(packet, AckerSelectPacket):
@@ -231,6 +279,9 @@ class LogServer(ProtocolMachine):
         if isinstance(packet, PromotePacket):
             return self._on_promote(packet, src, now)
         return []
+
+    def _on_data_packet(self, packet, src: Address, now: float) -> list[Action]:
+        return self._on_data(packet.seq, packet.payload, packet.epoch, src, now)
 
     # -- logging the stream ----------------------------------------------------
 
@@ -259,7 +310,7 @@ class LogServer(ProtocolMachine):
             actions.append(SendUnicast(dest=self._source, packet=ack))
         return actions
 
-    def _on_heartbeat(self, packet: HeartbeatPacket, now: float) -> list[Action]:
+    def _on_heartbeat(self, packet: HeartbeatPacket, src: Address, now: float) -> list[Action]:
         report = self.tracker.observe_heartbeat(packet.seq)
         return self._request_upstream(report.new_gaps, now)
 
@@ -276,16 +327,33 @@ class LogServer(ProtocolMachine):
 
     def _on_nack(self, packet: NackPacket, src: Address, now: float) -> list[Action]:
         self.stats["nacks_received"] += 1
-        if self._config.logger.packet_lifetime:
+        if self._lifetime:
             # Age out entries first so the membership test below is
             # accurate (an entry must not expire between the check and
             # the retrieval).
             self.log.expire(now)
+        seqs = packet.seqs
+        if len(seqs) == 1:
+            # The dominant request shape — a receiver chasing a single
+            # gap.  Serving it without the accumulator lists keeps the
+            # saturation path allocation-free.  The in-memory entry dict
+            # is probed directly; peek() still covers the spool.
+            seq = seqs[0]
+            entry = self._log_entries.get(seq)
+            if entry is None:
+                entry = self.log.peek(seq)
+            if entry is not None:
+                return self._repair(seq, entry, src, now)
+            self.stats["log_misses"] += 1
+            self._pending.setdefault(seq, set()).add(src)
+            return self._request_upstream(seqs, now)
         actions: list[Action] = []
         upstream_needed: list[int] = []
-        for seq in packet.seqs:
-            if seq in self.log:
-                actions.extend(self._repair(seq, src, now))
+        log = self.log
+        for seq in seqs:
+            entry = log.peek(seq)
+            if entry is not None:
+                actions.extend(self._repair(seq, entry, src, now))
             else:
                 self.stats["log_misses"] += 1
                 self._pending.setdefault(seq, set()).add(src)
@@ -294,8 +362,7 @@ class LogServer(ProtocolMachine):
             actions.extend(self._request_upstream(tuple(upstream_needed), now))
         return actions
 
-    def _repair(self, seq: int, requester: Address, now: float) -> list[Action]:
-        entry = self.log.get(seq, now)
+    def _repair(self, seq: int, entry, requester: Address, now: float) -> list[Action]:
         # Popular packets (a site-wide loss) are requested many times;
         # RetransPacket is frozen, so one instance per log entry serves
         # every requester.  The payload identity check guards against a
@@ -308,8 +375,8 @@ class LogServer(ProtocolMachine):
         # own site; a primary's requesters are on other sites, beyond any
         # site-local scope, so it always unicasts (group-wide re-multicast
         # is the source's statistical-ack decision, §2.3.2).
-        multicast_now = self._role is LoggerRole.SECONDARY and self._site_requests.record(
-            seq, requester, now, self_lost=seq in self._self_lost
+        multicast_now = self._is_secondary and self._site_requests.record(
+            seq, requester, now, bool(self._self_lost) and seq in self._self_lost
         )
         if multicast_now:
             # Enough of the site lost it: one TTL-scoped re-multicast
@@ -321,7 +388,17 @@ class LogServer(ProtocolMachine):
                 Notify(Remulticast(seq=seq, reason="site-wide loss")),
             ]
         self.stats["retrans_unicast"] += 1
-        return [SendUnicast(dest=requester, packet=retrans)]
+        # NACK retries re-request the same (seq, requester) pair; the
+        # packet identity check invalidates the memo when the retrans
+        # instance above was rebuilt (re-logged entry).
+        memo_key = (seq, requester)
+        reply = self._unicast_memo.get(memo_key)
+        if reply is None or reply[0].packet is not retrans:
+            reply = [SendUnicast(dest=requester, packet=retrans)]
+            if len(self._unicast_memo) >= 4096:
+                self._unicast_memo.clear()
+            self._unicast_memo[memo_key] = reply
+        return reply
 
     def _serve_pending(self, seq: int, payload: bytes, now: float) -> list[Action]:
         waiting = self._pending.pop(seq, None)
@@ -428,6 +505,7 @@ class LogServer(ProtocolMachine):
         if self._role is not LoggerRole.REPLICA:
             return []
         self._role = LoggerRole.PRIMARY
+        self._is_secondary = False
         self._source = src
         # The source becomes the new primary's upstream: any gap in the
         # promoted log is backfilled from the reliability buffer.
@@ -457,7 +535,7 @@ class LogServer(ProtocolMachine):
         if self._replication is not None:
             actions.extend(self._replication.poll(now))
         self._site_requests.sweep(now)
-        if self._config.logger.packet_lifetime:
+        if self._lifetime:
             self.log.expire(now)
             self._obs_log_packets.set(len(self.log))
             self._obs_log_bytes.set(self.log.byte_size)

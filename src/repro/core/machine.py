@@ -24,6 +24,9 @@ from repro.core.packets import Packet
 
 __all__ = ["ProtocolMachine", "TimerSet"]
 
+# Shared nothing-due result for TimerSet.pop_due (callers only iterate).
+_NO_KEYS: tuple = ()
+
 
 class TimerSet:
     """Named one-shot deadlines for a protocol machine.
@@ -71,13 +74,26 @@ class TimerSet:
         return self._deadlines.get(key)
 
     def pop_due(self, now: float) -> list[Hashable]:
-        """Remove and return all timers with deadline <= ``now``, soonest first."""
+        """Remove and return all timers with deadline <= ``now``, soonest first.
+
+        The nothing-due result is a shared empty sequence: every caller
+        only iterates it, and the poll path hits this case once per
+        packet across the fleet.
+        """
+        deadlines = self._deadlines
+        if not deadlines:
+            return _NO_KEYS
+        # Polls fire for *some* machine's deadline, not necessarily this
+        # one's; the cached minimum answers "nothing due" without a scan.
+        cached = self._min
+        if cached is not None and cached > now:
+            return _NO_KEYS
         due = sorted(
-            (k for k, t in self._deadlines.items() if t <= now),
-            key=lambda k: self._deadlines[k],
+            (k for k, t in deadlines.items() if t <= now),
+            key=deadlines.__getitem__,
         )
         for key in due:
-            del self._deadlines[key]
+            del deadlines[key]
         if due:
             self._min = None
         return due

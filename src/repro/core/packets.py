@@ -25,8 +25,9 @@ point for every transport.
 from __future__ import annotations
 
 import struct
-from dataclasses import dataclass, fields
+from dataclasses import dataclass, field, fields
 from enum import IntEnum
+from operator import attrgetter
 from typing import Callable, ClassVar, Type, TypeVar
 
 from repro import obs
@@ -61,6 +62,8 @@ __all__ = [
     "codec_cache_stats",
     "clear_codec_caches",
     "set_codec_caches",
+    "set_codec_mode",
+    "codec_mode",
 ]
 
 _MAGIC = b"LB"
@@ -117,7 +120,10 @@ def _unpack_str(buf: memoryview, offset: int) -> tuple[str, int]:
     end = offset + 1 + length
     if end > len(buf):
         raise DecodeError("truncated string body")
-    return bytes(buf[offset + 1 : end]).decode("utf-8"), end
+    try:
+        return bytes(buf[offset + 1 : end]).decode("utf-8"), end
+    except UnicodeDecodeError as exc:
+        raise DecodeError(f"string is not UTF-8: {exc}") from None
 
 
 def _pack_bytes(value: bytes) -> bytes:
@@ -141,6 +147,14 @@ class Packet:
     """Base class: every LBRM message belongs to a multicast group."""
 
     group: str
+    # Memo slot for hash(packet); -1 = not yet computed (CPython hashes
+    # never return -1, it is reserved for errors).  The codec memos probe
+    # dicts keyed by packet values on every encode, and the generated
+    # dataclass __hash__ rebuilds and re-hashes the full field tuple each
+    # call — register_packet wraps it so that cost is paid once per
+    # instance.  init=False/compare=False keeps the slot out of
+    # __init__, __eq__, and repr.
+    _hash: int = field(init=False, repr=False, compare=False, default=-1)
 
     TYPE: ClassVar[PacketType]
 
@@ -158,13 +172,255 @@ P = TypeVar("P", bound=Type[Packet])
 
 
 def register_packet(cls: P) -> P:
-    """Class decorator adding ``cls`` to the wire-format registry."""
+    """Class decorator adding ``cls`` to the wire-format registry.
+
+    Classes declaring a ``WIRE`` spec additionally get a precompiled
+    struct codec (see :func:`_compile_struct_codec`); the rest fall back
+    to their per-field ``encode_body``/``decode_body`` in both modes.
+    """
     ptype = int(cls.TYPE)
     existing = _REGISTRY.get(ptype)
     if existing is not None and existing is not cls:
         raise EncodeError(f"packet type {ptype} already registered to {existing.__name__}")
     _REGISTRY[ptype] = cls
+    _install_cached_hash(cls)
+    _compile_struct_codec(cls)
     return cls
+
+
+def _install_cached_hash(cls: Type[Packet]) -> None:
+    """Wrap the generated ``__hash__`` to memoize into the ``_hash`` slot."""
+    base_hash = cls.__hash__
+
+    def __hash__(self, _base=base_hash, _set=object.__setattr__):
+        h = self._hash
+        if h != -1:
+            return h
+        h = _base(self)
+        _set(self, "_hash", h)
+        return h
+
+    cls.__hash__ = __hash__
+
+
+# -- struct-codec fast path --------------------------------------------------
+#
+# A packet class may declare ``WIRE``: a tuple of ``(field_name, kind)``
+# pairs in *wire* order, from which one precompiled :class:`struct.Struct`
+# codec is built at registration time.  The per-field ``encode_body`` /
+# ``decode_body`` methods remain the executable conformance specification —
+# the property suite fuzzes every registered type and asserts both paths
+# produce identical bytes and identical values, and both reject truncated
+# or garbage-suffixed datagrams with :class:`DecodeError`
+# (tests/property/test_codec_conformance.py).
+#
+# Allowed shape: any run of fixed-width fields plus at most one
+# variable-length field ("str", "bytes", or "u64seq"), which must be last.
+
+_FIXED_FMT = {"u8": "B", "u16": "H", "u32": "I", "u64": "Q", "f64": "d"}
+_VARIABLE_KINDS = frozenset({"str", "bytes", "u64seq"})
+
+_STRUCT_ENCODERS: dict[type, Callable] = {}
+_STRUCT_DECODERS: dict[int, Callable] = {}
+
+_U16 = struct.Struct("!H")
+# One precompiled "!H{n}Q" per distinct sequence-list length seen;
+# bounded by MAX_SEQS in practice (counts are validated before lookup).
+_U64SEQ_STRUCTS: dict[int, struct.Struct] = {}
+
+
+def _u64seq_struct(count: int) -> struct.Struct:
+    st = _U64SEQ_STRUCTS.get(count)
+    if st is None:
+        st = _U64SEQ_STRUCTS[count] = struct.Struct(f"!H{count}Q")
+    return st
+
+
+def _compile_struct_codec(cls: Type[Packet]) -> None:
+    """Build and register the precompiled codec pair for ``cls.WIRE``."""
+    wire = cls.__dict__.get("WIRE")
+    if wire is None:
+        return
+    tname = cls.TYPE.name
+    fixed_names: list[str] = []
+    fmt = "!"
+    tail_name: str | None = None
+    tail_kind: str | None = None
+    for name, kind in wire:
+        if tail_kind is not None:
+            raise EncodeError(f"{cls.__name__}.WIRE: variable-length field must be last")
+        if kind in _VARIABLE_KINDS:
+            tail_name, tail_kind = name, kind
+        elif kind in _FIXED_FMT:
+            fmt += _FIXED_FMT[kind]
+            fixed_names.append(name)
+        else:
+            raise EncodeError(f"{cls.__name__}.WIRE: unknown field kind {kind!r}")
+
+    # The 4-byte header is constant per class; group headers (header +
+    # length-prefixed UTF-8 group) are memoized since deployments speak a
+    # handful of groups across millions of packets.
+    prefix = _HEADER.pack(_MAGIC, _VERSION, int(cls.TYPE))
+    heads: dict[str, bytes] = {}
+
+    def _head(group: str) -> bytes:
+        head = heads.get(group)
+        if head is None:
+            raw = group.encode("utf-8")
+            if len(raw) > _MAX_STR:
+                raise EncodeError(f"string too long for wire ({len(raw)} > {_MAX_STR})")
+            head = prefix + bytes((len(raw),)) + raw
+            if len(heads) < 1024:
+                heads[group] = head
+        return head
+
+    if not fixed_names:
+        gfix = None
+    elif len(fixed_names) == 1:
+        _g1 = attrgetter(fixed_names[0])
+
+        def gfix(p, _g1=_g1):
+            return (_g1(p),)
+
+    else:
+        gfix = attrgetter(*fixed_names)
+
+    # Decoders construct positionally (kwargs cost ~300 ns per call on a
+    # frozen slots dataclass): arg_src maps each constructor position
+    # after ``group`` to its index in the unpacked fixed tuple, or -1 for
+    # the variable tail.  This doubles as the spec check that WIRE names
+    # exactly the non-group fields.
+    wire_names = set(fixed_names) | ({tail_name} if tail_name is not None else set())
+    arg_src: list[int] = []
+    for f in fields(cls):
+        if f.name == "group" or f.name == "_hash":
+            continue
+        if f.name == tail_name:
+            arg_src.append(-1)
+        elif f.name in wire_names:
+            arg_src.append(fixed_names.index(f.name))
+        else:
+            raise EncodeError(f"{cls.__name__}.WIRE: field {f.name!r} missing from spec")
+    if len(arg_src) != len(fixed_names) + (tail_name is not None):
+        raise EncodeError(f"{cls.__name__}.WIRE: spec names a non-field")
+    in_order = arg_src == list(range(len(arg_src)))
+
+    if tail_kind is None:
+        body = struct.Struct(fmt)
+        pack, unpack_from, size = body.pack, body.unpack_from, body.size
+
+        if gfix is None:
+
+            def enc(p):
+                return _head(p.group)
+
+        else:
+
+            def enc(p):
+                return _head(p.group) + pack(*gfix(p))
+
+        if in_order:
+
+            def dec(data, off, group):
+                if len(data) != off + size:
+                    raise DecodeError(f"bad {tname} body length", data)
+                return cls(group, *unpack_from(data, off))
+
+        else:
+
+            def dec(data, off, group):
+                if len(data) != off + size:
+                    raise DecodeError(f"bad {tname} body length", data)
+                vals = unpack_from(data, off)
+                return cls(group, *[vals[i] for i in arg_src])
+
+    elif tail_kind == "bytes":
+        body = struct.Struct(fmt + "H")
+        pack, unpack_from, size = body.pack, body.unpack_from, body.size
+        gtail = attrgetter(tail_name)
+
+        def enc(p):
+            payload = gtail(p)
+            n = len(payload)
+            if n > _MAX_PAYLOAD:
+                raise EncodeError(f"payload too large ({n} > {_MAX_PAYLOAD})")
+            if gfix is None:
+                return _head(p.group) + pack(n) + payload
+            return _head(p.group) + pack(*gfix(p), n) + payload
+
+        def dec(data, off, group):
+            fend = off + size
+            if len(data) < fend:
+                raise DecodeError(f"truncated {tname} body", data)
+            vals = unpack_from(data, off)
+            end = fend + vals[-1]
+            if len(data) != end:
+                raise DecodeError(f"bad {tname} payload length", data)
+            tailv = data[fend:end]
+            return cls(group, *[tailv if i < 0 else vals[i] for i in arg_src])
+
+    elif tail_kind == "str":
+        body = struct.Struct(fmt + "B")
+        pack, unpack_from, size = body.pack, body.unpack_from, body.size
+        gtail = attrgetter(tail_name)
+
+        def enc(p):
+            raw = gtail(p).encode("utf-8")
+            n = len(raw)
+            if n > _MAX_STR:
+                raise EncodeError(f"string too long for wire ({n} > {_MAX_STR})")
+            if gfix is None:
+                return _head(p.group) + pack(n) + raw
+            return _head(p.group) + pack(*gfix(p), n) + raw
+
+        def dec(data, off, group):
+            fend = off + size
+            if len(data) < fend:
+                raise DecodeError(f"truncated {tname} body", data)
+            vals = unpack_from(data, off)
+            end = fend + vals[-1]
+            if len(data) != end:
+                raise DecodeError(f"bad {tname} string length", data)
+            try:
+                tailv = data[fend:end].decode("utf-8")
+            except UnicodeDecodeError as exc:
+                raise DecodeError(f"{tname} string is not UTF-8: {exc}", data) from None
+            return cls(group, *[tailv if i < 0 else vals[i] for i in arg_src])
+
+    else:  # u64seq
+        body = struct.Struct(fmt)
+        pack, unpack_from, size = body.pack, body.unpack_from, body.size
+        gtail = attrgetter(tail_name)
+        maxn = getattr(cls, "MAX_SEQS", 0xFFFF)
+
+        def enc(p):
+            seqs = gtail(p)
+            n = len(seqs)
+            if n == 0:
+                raise EncodeError(f"{tname} must request at least one sequence")
+            if n > maxn:
+                raise EncodeError(f"{tname} limited to {maxn} sequences")
+            if gfix is None:
+                return _head(p.group) + _u64seq_struct(n).pack(n, *seqs)
+            return _head(p.group) + pack(*gfix(p)) + _u64seq_struct(n).pack(n, *seqs)
+
+        def dec(data, off, group):
+            fend = off + size
+            if len(data) < fend + 2:
+                raise DecodeError(f"truncated {tname} body", data)
+            (n,) = _U16.unpack_from(data, fend)
+            if n == 0 or n > maxn:
+                raise DecodeError(f"bad {tname} count {n}", data)
+            if len(data) != fend + 2 + 8 * n:
+                raise DecodeError(f"bad {tname} sequence list length", data)
+            tailv = _u64seq_struct(n).unpack_from(data, fend)[1:]
+            if not arg_src == [-1]:
+                vals = unpack_from(data, off)
+                return cls(group, *[tailv if i < 0 else vals[i] for i in arg_src])
+            return cls(group, tailv)
+
+    _STRUCT_ENCODERS[cls] = enc
+    _STRUCT_DECODERS[int(cls.TYPE)] = dec
 
 
 @register_packet
@@ -181,6 +437,7 @@ class DataPacket(Packet):
     epoch: int = 0
 
     TYPE: ClassVar[PacketType] = PacketType.DATA
+    WIRE: ClassVar[tuple] = (("seq", "u64"), ("epoch", "u32"), ("payload", "bytes"))
 
     def encode_body(self) -> bytes:
         return struct.pack("!QI", self.seq, self.epoch) + _pack_bytes(self.payload)
@@ -190,7 +447,9 @@ class DataPacket(Packet):
         if len(buf) < 12:
             raise DecodeError("truncated DATA body")
         seq, epoch = struct.unpack_from("!QI", buf, 0)
-        payload, _ = _unpack_bytes(buf, 12)
+        payload, end = _unpack_bytes(buf, 12)
+        if end != len(buf):
+            raise DecodeError("trailing garbage after DATA body")
         return cls(group=group, seq=seq, payload=payload, epoch=epoch)
 
 
@@ -209,14 +468,15 @@ class HeartbeatPacket(Packet):
     epoch: int = 0
 
     TYPE: ClassVar[PacketType] = PacketType.HEARTBEAT
+    WIRE: ClassVar[tuple] = (("seq", "u64"), ("hb_index", "u32"), ("epoch", "u32"))
 
     def encode_body(self) -> bytes:
         return struct.pack("!QII", self.seq, self.hb_index, self.epoch)
 
     @classmethod
     def decode_body(cls, group: str, buf: memoryview) -> "HeartbeatPacket":
-        if len(buf) < 16:
-            raise DecodeError("truncated HEARTBEAT body")
+        if len(buf) != 16:
+            raise DecodeError("bad HEARTBEAT body length")
         seq, hb_index, epoch = struct.unpack_from("!QII", buf, 0)
         return cls(group=group, seq=seq, hb_index=hb_index, epoch=epoch)
 
@@ -235,6 +495,7 @@ class NackPacket(Packet):
 
     TYPE: ClassVar[PacketType] = PacketType.NACK
     MAX_SEQS: ClassVar[int] = 64
+    WIRE: ClassVar[tuple] = (("seqs", "u64seq"),)
 
     def encode_body(self) -> bytes:
         if not self.seqs:
@@ -250,8 +511,8 @@ class NackPacket(Packet):
         (count,) = struct.unpack_from("!H", buf, 0)
         if count == 0 or count > cls.MAX_SEQS:
             raise DecodeError(f"bad NACK count {count}")
-        if len(buf) < 2 + 8 * count:
-            raise DecodeError("truncated NACK sequence list")
+        if len(buf) != 2 + 8 * count:
+            raise DecodeError("bad NACK sequence list length")
         seqs = struct.unpack_from(f"!{count}Q", buf, 2)
         return cls(group=group, seqs=tuple(seqs))
 
@@ -270,6 +531,7 @@ class RetransPacket(Packet):
     epoch: int = 0
 
     TYPE: ClassVar[PacketType] = PacketType.RETRANS
+    WIRE: ClassVar[tuple] = (("seq", "u64"), ("epoch", "u32"), ("payload", "bytes"))
 
     def encode_body(self) -> bytes:
         return struct.pack("!QI", self.seq, self.epoch) + _pack_bytes(self.payload)
@@ -279,7 +541,9 @@ class RetransPacket(Packet):
         if len(buf) < 12:
             raise DecodeError("truncated RETRANS body")
         seq, epoch = struct.unpack_from("!QI", buf, 0)
-        payload, _ = _unpack_bytes(buf, 12)
+        payload, end = _unpack_bytes(buf, 12)
+        if end != len(buf):
+            raise DecodeError("trailing garbage after RETRANS body")
         return cls(group=group, seq=seq, payload=payload, epoch=epoch)
 
 
@@ -297,14 +561,15 @@ class LogAckPacket(Packet):
     replica_seq: int
 
     TYPE: ClassVar[PacketType] = PacketType.LOG_ACK
+    WIRE: ClassVar[tuple] = (("primary_seq", "u64"), ("replica_seq", "u64"))
 
     def encode_body(self) -> bytes:
         return struct.pack("!QQ", self.primary_seq, self.replica_seq)
 
     @classmethod
     def decode_body(cls, group: str, buf: memoryview) -> "LogAckPacket":
-        if len(buf) < 16:
-            raise DecodeError("truncated LOG_ACK body")
+        if len(buf) != 16:
+            raise DecodeError("bad LOG_ACK body length")
         primary_seq, replica_seq = struct.unpack_from("!QQ", buf, 0)
         return cls(group=group, primary_seq=primary_seq, replica_seq=replica_seq)
 
@@ -323,14 +588,15 @@ class AckerSelectPacket(Packet):
     k: int
 
     TYPE: ClassVar[PacketType] = PacketType.ACKER_SELECT
+    WIRE: ClassVar[tuple] = (("epoch", "u32"), ("p_ack", "f64"), ("k", "u32"))
 
     def encode_body(self) -> bytes:
         return struct.pack("!IdI", self.epoch, self.p_ack, self.k)
 
     @classmethod
     def decode_body(cls, group: str, buf: memoryview) -> "AckerSelectPacket":
-        if len(buf) < 16:
-            raise DecodeError("truncated ACKER_SELECT body")
+        if len(buf) != 16:
+            raise DecodeError("bad ACKER_SELECT body length")
         epoch, p_ack, k = struct.unpack_from("!IdI", buf, 0)
         return cls(group=group, epoch=epoch, p_ack=p_ack, k=k)
 
@@ -343,14 +609,15 @@ class AckerResponsePacket(Packet):
     epoch: int
 
     TYPE: ClassVar[PacketType] = PacketType.ACKER_RESPONSE
+    WIRE: ClassVar[tuple] = (("epoch", "u32"),)
 
     def encode_body(self) -> bytes:
         return struct.pack("!I", self.epoch)
 
     @classmethod
     def decode_body(cls, group: str, buf: memoryview) -> "AckerResponsePacket":
-        if len(buf) < 4:
-            raise DecodeError("truncated ACKER_RESPONSE body")
+        if len(buf) != 4:
+            raise DecodeError("bad ACKER_RESPONSE body length")
         (epoch,) = struct.unpack_from("!I", buf, 0)
         return cls(group=group, epoch=epoch)
 
@@ -364,14 +631,15 @@ class DataAckPacket(Packet):
     seq: int
 
     TYPE: ClassVar[PacketType] = PacketType.DATA_ACK
+    WIRE: ClassVar[tuple] = (("epoch", "u32"), ("seq", "u64"))
 
     def encode_body(self) -> bytes:
         return struct.pack("!IQ", self.epoch, self.seq)
 
     @classmethod
     def decode_body(cls, group: str, buf: memoryview) -> "DataAckPacket":
-        if len(buf) < 12:
-            raise DecodeError("truncated DATA_ACK body")
+        if len(buf) != 12:
+            raise DecodeError("bad DATA_ACK body length")
         epoch, seq = struct.unpack_from("!IQ", buf, 0)
         return cls(group=group, epoch=epoch, seq=seq)
 
@@ -385,14 +653,15 @@ class ProbePacket(Packet):
     p_ack: float
 
     TYPE: ClassVar[PacketType] = PacketType.PROBE
+    WIRE: ClassVar[tuple] = (("probe_id", "u32"), ("p_ack", "f64"))
 
     def encode_body(self) -> bytes:
         return struct.pack("!Id", self.probe_id, self.p_ack)
 
     @classmethod
     def decode_body(cls, group: str, buf: memoryview) -> "ProbePacket":
-        if len(buf) < 12:
-            raise DecodeError("truncated PROBE body")
+        if len(buf) != 12:
+            raise DecodeError("bad PROBE body length")
         probe_id, p_ack = struct.unpack_from("!Id", buf, 0)
         return cls(group=group, probe_id=probe_id, p_ack=p_ack)
 
@@ -405,14 +674,15 @@ class ProbeReplyPacket(Packet):
     probe_id: int
 
     TYPE: ClassVar[PacketType] = PacketType.PROBE_REPLY
+    WIRE: ClassVar[tuple] = (("probe_id", "u32"),)
 
     def encode_body(self) -> bytes:
         return struct.pack("!I", self.probe_id)
 
     @classmethod
     def decode_body(cls, group: str, buf: memoryview) -> "ProbeReplyPacket":
-        if len(buf) < 4:
-            raise DecodeError("truncated PROBE_REPLY body")
+        if len(buf) != 4:
+            raise DecodeError("bad PROBE_REPLY body length")
         (probe_id,) = struct.unpack_from("!I", buf, 0)
         return cls(group=group, probe_id=probe_id)
 
@@ -425,14 +695,15 @@ class DiscoveryQueryPacket(Packet):
     ttl: int
 
     TYPE: ClassVar[PacketType] = PacketType.DISCOVERY_QUERY
+    WIRE: ClassVar[tuple] = (("ttl", "u16"),)
 
     def encode_body(self) -> bytes:
         return struct.pack("!H", self.ttl)
 
     @classmethod
     def decode_body(cls, group: str, buf: memoryview) -> "DiscoveryQueryPacket":
-        if len(buf) < 2:
-            raise DecodeError("truncated DISCOVERY_QUERY body")
+        if len(buf) != 2:
+            raise DecodeError("bad DISCOVERY_QUERY body length")
         (ttl,) = struct.unpack_from("!H", buf, 0)
         return cls(group=group, ttl=ttl)
 
@@ -447,6 +718,7 @@ class DiscoveryReplyPacket(Packet):
     level: int
 
     TYPE: ClassVar[PacketType] = PacketType.DISCOVERY_REPLY
+    WIRE: ClassVar[tuple] = (("level", "u16"), ("logger_addr", "str"))
 
     def encode_body(self) -> bytes:
         return struct.pack("!H", self.level) + _pack_str(self.logger_addr)
@@ -456,7 +728,9 @@ class DiscoveryReplyPacket(Packet):
         if len(buf) < 2:
             raise DecodeError("truncated DISCOVERY_REPLY body")
         (level,) = struct.unpack_from("!H", buf, 0)
-        logger_addr, _ = _unpack_str(buf, 2)
+        logger_addr, end = _unpack_str(buf, 2)
+        if end != len(buf):
+            raise DecodeError("trailing garbage after DISCOVERY_REPLY body")
         return cls(group=group, logger_addr=logger_addr, level=level)
 
 
@@ -473,6 +747,7 @@ class ReplUpdatePacket(Packet):
     payload: bytes
 
     TYPE: ClassVar[PacketType] = PacketType.REPL_UPDATE
+    WIRE: ClassVar[tuple] = (("seq", "u64"), ("payload", "bytes"))
 
     def encode_body(self) -> bytes:
         return struct.pack("!Q", self.seq) + _pack_bytes(self.payload)
@@ -482,7 +757,9 @@ class ReplUpdatePacket(Packet):
         if len(buf) < 8:
             raise DecodeError("truncated REPL_UPDATE body")
         (seq,) = struct.unpack_from("!Q", buf, 0)
-        payload, _ = _unpack_bytes(buf, 8)
+        payload, end = _unpack_bytes(buf, 8)
+        if end != len(buf):
+            raise DecodeError("trailing garbage after REPL_UPDATE body")
         return cls(group=group, seq=seq, payload=payload)
 
 
@@ -499,14 +776,15 @@ class ReplAckPacket(Packet):
     cum_seq: int
 
     TYPE: ClassVar[PacketType] = PacketType.REPL_ACK
+    WIRE: ClassVar[tuple] = (("cum_seq", "u64"),)
 
     def encode_body(self) -> bytes:
         return struct.pack("!Q", self.cum_seq)
 
     @classmethod
     def decode_body(cls, group: str, buf: memoryview) -> "ReplAckPacket":
-        if len(buf) < 8:
-            raise DecodeError("truncated REPL_ACK body")
+        if len(buf) != 8:
+            raise DecodeError("bad REPL_ACK body length")
         (cum_seq,) = struct.unpack_from("!Q", buf, 0)
         return cls(group=group, cum_seq=cum_seq)
 
@@ -520,12 +798,15 @@ class PrimaryQueryPacket(Packet):
     """
 
     TYPE: ClassVar[PacketType] = PacketType.PRIMARY_QUERY
+    WIRE: ClassVar[tuple] = ()
 
     def encode_body(self) -> bytes:
         return b""
 
     @classmethod
     def decode_body(cls, group: str, buf: memoryview) -> "PrimaryQueryPacket":
+        if len(buf):
+            raise DecodeError("trailing garbage after PRIMARY_QUERY header")
         return cls(group=group)
 
 
@@ -537,13 +818,16 @@ class PrimaryInfoPacket(Packet):
     primary_addr: str
 
     TYPE: ClassVar[PacketType] = PacketType.PRIMARY_INFO
+    WIRE: ClassVar[tuple] = (("primary_addr", "str"),)
 
     def encode_body(self) -> bytes:
         return _pack_str(self.primary_addr)
 
     @classmethod
     def decode_body(cls, group: str, buf: memoryview) -> "PrimaryInfoPacket":
-        primary_addr, _ = _unpack_str(buf, 0)
+        primary_addr, end = _unpack_str(buf, 0)
+        if end != len(buf):
+            raise DecodeError("trailing garbage after PRIMARY_INFO body")
         return cls(group=group, primary_addr=primary_addr)
 
 
@@ -555,14 +839,15 @@ class PromotePacket(Packet):
     from_seq: int
 
     TYPE: ClassVar[PacketType] = PacketType.PROMOTE
+    WIRE: ClassVar[tuple] = (("from_seq", "u64"),)
 
     def encode_body(self) -> bytes:
         return struct.pack("!Q", self.from_seq)
 
     @classmethod
     def decode_body(cls, group: str, buf: memoryview) -> "PromotePacket":
-        if len(buf) < 8:
-            raise DecodeError("truncated PROMOTE body")
+        if len(buf) != 8:
+            raise DecodeError("bad PROMOTE body length")
         (from_seq,) = struct.unpack_from("!Q", buf, 0)
         return cls(group=group, from_seq=from_seq)
 
@@ -577,17 +862,49 @@ class ReplStatusQueryPacket(Packet):
     """
 
     TYPE: ClassVar[PacketType] = PacketType.REPL_STATUS_QUERY
+    WIRE: ClassVar[tuple] = ()
 
     def encode_body(self) -> bytes:
         return b""
 
     @classmethod
     def decode_body(cls, group: str, buf: memoryview) -> "ReplStatusQueryPacket":
+        if len(buf):
+            raise DecodeError("trailing garbage after REPL_STATUS_QUERY header")
         return cls(group=group)
+
+
+# Which body codec serves encode/decode: "struct" is the precompiled
+# fast path, "legacy" the per-field conformance spec.  The benchmark
+# harness's reference mode selects "legacy" to measure the pre-struct
+# baseline; everything else runs "struct".
+_CODEC_MODE = "struct"
+
+
+def set_codec_mode(mode: str) -> None:
+    """Select ``"struct"`` (default) or ``"legacy"`` codecs.
+
+    Clears both memo caches so cached objects and hit/miss stats always
+    come from a single mode.
+    """
+    global _CODEC_MODE
+    if mode not in ("struct", "legacy"):
+        raise ValueError(f"codec mode must be 'struct' or 'legacy', got {mode!r}")
+    _CODEC_MODE = mode
+    clear_codec_caches()
+
+
+def codec_mode() -> str:
+    """The currently selected body codec ("struct" or "legacy")."""
+    return _CODEC_MODE
 
 
 def encode_uncached(packet: Packet) -> bytes:
     """Serialize ``packet`` to its wire representation (no memoization)."""
+    if _CODEC_MODE == "struct":
+        enc = _STRUCT_ENCODERS.get(type(packet))
+        if enc is not None:
+            return enc(packet)
     header = _HEADER.pack(_MAGIC, _VERSION, int(packet.TYPE))
     return header + _pack_str(packet.group) + packet.encode_body()
 
@@ -598,9 +915,13 @@ def decode_uncached(data: bytes) -> Packet:
     Raises :class:`~repro.core.errors.DecodeError` on any malformed
     input; transports should count and drop such datagrams rather than
     crash (errors should never pass silently, but a multicast socket is
-    a public place).
+    a public place).  ``bytearray``/``memoryview`` input is accepted and
+    normalized to ``bytes``.
     """
-    if len(data) < _HEADER.size:
+    if type(data) is not bytes:
+        data = bytes(data)
+    n = len(data)
+    if n < _HEADER.size:
         raise DecodeError("datagram shorter than header", data)
     magic, version, ptype = _HEADER.unpack_from(data, 0)
     if magic != _MAGIC:
@@ -610,9 +931,21 @@ def decode_uncached(data: bytes) -> Packet:
     cls = _REGISTRY.get(ptype)
     if cls is None:
         raise DecodeError(f"unknown packet type {ptype}", data)
-    view = memoryview(data)
-    group, offset = _unpack_str(view, _HEADER.size)
-    return cls.decode_body(group, view[offset:])
+    # Both modes share the header/group parse (and its error behavior).
+    if n < 5:
+        raise DecodeError("truncated string length", data)
+    end = 5 + data[4]
+    if end > n:
+        raise DecodeError("truncated string body", data)
+    try:
+        group = data[5:end].decode("utf-8")
+    except UnicodeDecodeError as exc:
+        raise DecodeError(f"group is not UTF-8: {exc}", data) from None
+    if _CODEC_MODE == "struct":
+        dec = _STRUCT_DECODERS.get(ptype)
+        if dec is not None:
+            return dec(data, end, group)
+    return cls.decode_body(group, memoryview(data)[end:])
 
 
 class _CodecCache:
@@ -650,14 +983,17 @@ class _CodecCache:
 
     def hit(self) -> None:
         self.hits += 1
-        if obs.registry() is not self._reg:
+        # obs._current is the module global behind obs.registry(); the
+        # attribute read skips a function call on a path hit over a
+        # million times per benchmark run.
+        if obs._current is not self._reg:
             self._resolve()
         if self._mirror:
             self._hit_ctr.inc()
 
     def miss(self, key, value) -> None:
         self.misses += 1
-        if obs.registry() is not self._reg:
+        if obs._current is not self._reg:
             self._resolve()
         if self._mirror:
             self._miss_ctr.inc()
@@ -690,7 +1026,7 @@ def encode(packet: Packet) -> bytes:
     if wire is not None:
         # hit() inlined: this is the hottest line in a multicast send.
         cache.hits += 1
-        if obs.registry() is not cache._reg:
+        if obs._current is not cache._reg:
             cache._resolve()
         if cache._mirror:
             cache._hit_ctr.inc()
@@ -711,16 +1047,20 @@ def decode(data: bytes) -> Packet:
     cache = _DECODE_CACHE
     if not cache.enabled:
         return decode_uncached(data)
+    if type(data) is not bytes:
+        # bytearray/memoryview from a transport is unhashable — normalize
+        # before probing the memo (decode_uncached does the same).
+        data = bytes(data)
     packet = cache.entries.get(data)
     if packet is not None:
         cache.hits += 1
-        if obs.registry() is not cache._reg:
+        if obs._current is not cache._reg:
             cache._resolve()
         if cache._mirror:
             cache._hit_ctr.inc()
         return packet
     packet = decode_uncached(data)
-    cache.miss(bytes(data), packet)
+    cache.miss(data, packet)
     return packet
 
 

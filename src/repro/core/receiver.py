@@ -51,8 +51,6 @@ from repro.core.sequence import SequenceTracker
 
 __all__ = ["LbrmReceiver"]
 
-_MAXIT = ("maxit",)  # timer key, hoisted off the per-packet path
-
 
 @dataclass
 class _Recovery:
@@ -115,9 +113,17 @@ class LbrmReceiver(ProtocolMachine):
         self._fresh = True
         self._stale_since: float | None = None
         self._awaiting_primary = False
-        # min(h_min·backoff^i, h_max) per heartbeat index, memoized:
-        # every arriving packet re-reads its index's interval.
-        self._hb_intervals: dict[int, float] = {}
+        # The MaxIT watchdog re-arms on *every* packet, so it lives in a
+        # plain attribute instead of the TimerSet: one float store per
+        # packet instead of a dict write plus min-cache upkeep.
+        # next_wakeup()/poll() fold it back in.
+        self._maxit_deadline: float | None = None
+        # (interval, watchdog timeout) per heartbeat index, memoized:
+        # every arriving packet re-reads its index's schedule, and
+        # caching slack·interval alongside saves the per-packet multiply.
+        # (Like the pre-existing interval memo, this bakes in the config
+        # at first use — reconfiguring a live receiver is unsupported.)
+        self._hb_wd: dict[int, tuple[float, float]] = {}
 
         # Receivers are the most numerous machines (thousands in the
         # paper's deployments), so their registry counters aggregate
@@ -170,23 +176,22 @@ class LbrmReceiver(ProtocolMachine):
         """Join the group and arm the MaxIT freshness watchdog."""
         self._last_rx = now
         self._expected_interval = self._config.max_idle_time
-        self.timers.set(("maxit",), now + self._watchdog_timeout())
+        self._maxit_deadline = now + self._watchdog_timeout()
         return [JoinGroup(group=self._group)]
 
     def _watchdog_timeout(self) -> float:
         return self._config.watchdog_slack * self._expected_interval
 
-    def _next_heartbeat_interval(self, hb_index: int) -> float:
-        """Interval until the sender's next heartbeat given its schedule."""
-        interval = self._hb_intervals.get(hb_index)
-        if interval is None:
-            if self._heartbeat is None:
-                interval = self._config.max_idle_time
-            else:
-                hb = self._heartbeat
-                interval = min(hb.h_min * hb.backoff**hb_index, hb.h_max)
-            self._hb_intervals[hb_index] = interval
-        return interval
+    def _hb_schedule(self, hb_index: int) -> tuple[float, float]:
+        """(heartbeat interval, watchdog timeout) for one schedule index."""
+        if self._heartbeat is None:
+            interval = self._config.max_idle_time
+        else:
+            hb = self._heartbeat
+            interval = min(hb.h_min * hb.backoff**hb_index, hb.h_max)
+        pair = (interval, self._config.watchdog_slack * interval)
+        self._hb_wd[hb_index] = pair
+        return pair
 
     def set_logger_chain(self, chain: tuple[Address, ...]) -> None:
         """Install (or replace) the recovery chain, nearest logger first."""
@@ -204,7 +209,22 @@ class LbrmReceiver(ProtocolMachine):
 
     # -- inbound ----------------------------------------------------------
 
+    # Exact-type dispatch: four identity checks instead of an isinstance
+    # ladder on the per-packet hot path.  Plain ``self._on_*`` calls keep
+    # class-level monkeypatching working and let the interpreter's
+    # adaptive method caches engage; handlers take (packet, now) —
+    # receivers never use the src token.
     def handle(self, packet: Packet, src: Address, now: float) -> list[Action]:
+        t = type(packet)
+        if t is DataPacket:
+            return self._on_data(packet, now)
+        if t is HeartbeatPacket:
+            return self._on_heartbeat(packet, now)
+        if t is RetransPacket:
+            return self._on_retrans(packet, now)
+        if t is PrimaryInfoPacket:
+            return self._on_primary_info(packet, now)
+        # isinstance fallback for packet subclasses.
         if isinstance(packet, DataPacket):
             return self._on_data(packet, now)
         if isinstance(packet, HeartbeatPacket):
@@ -217,23 +237,38 @@ class LbrmReceiver(ProtocolMachine):
 
     def _on_data(self, packet: DataPacket, now: float) -> list[Action]:
         tracker = self._tracker
-        already_highest = tracker.started and packet.seq == tracker.highest
         report = tracker.observe_data(packet.seq)
         if report.is_new:
             self._repeat_count = 0
-            self._expected_interval = self._next_heartbeat_interval(0)
-        elif already_highest:
+            hb_index = 0
+        # A non-new observation never moves ``highest``, so checking the
+        # tracker *after* observe_data sees the same value the packet was
+        # compared against on arrival.
+        elif tracker.started and packet.seq == tracker.highest:
             # A repeat of the newest packet occupies a heartbeat slot
             # (§7's small-packet extension): advance the watchdog along
             # the sender's backoff schedule like a heartbeat would.
             self._repeat_count += 1
-            self._expected_interval = self._next_heartbeat_interval(self._repeat_count)
-        actions = self._liveness(now)
+            hb_index = self._repeat_count
+        else:
+            hb_index = -1
+        if hb_index >= 0:
+            sched = self._hb_wd.get(hb_index)
+            if sched is None:
+                sched = self._hb_schedule(hb_index)
+            self._expected_interval = sched[0]
+            timeout = sched[1]
+        else:
+            timeout = self._config.watchdog_slack * self._expected_interval
+        # _liveness() inlined: this runs once per arriving packet.
+        self._last_rx = now
+        self._maxit_deadline = now + timeout
+        actions = [] if self._fresh else self._freshness_restored(now)
         self.stats["data_received"] += 1
         if report.is_new:
             # Receiver-reliable: fresh data is delivered immediately, never
             # held for in-order completion (§1, §5).
-            actions.append(Deliver(seq=packet.seq, payload=packet.payload, recovered=report.filled_gap))
+            actions.append(Deliver(packet.seq, packet.payload, report.filled_gap))
             if report.filled_gap:
                 # A sender repeat (§7 small-packet extension) or a
                 # re-multicast repaired this gap before our NACK did.
@@ -256,8 +291,13 @@ class LbrmReceiver(ProtocolMachine):
         return actions
 
     def _on_heartbeat(self, packet: HeartbeatPacket, now: float) -> list[Action]:
-        self._expected_interval = self._next_heartbeat_interval(packet.hb_index)
-        actions = self._liveness(now)
+        sched = self._hb_wd.get(packet.hb_index)
+        if sched is None:
+            sched = self._hb_schedule(packet.hb_index)
+        self._expected_interval = sched[0]
+        self._last_rx = now
+        self._maxit_deadline = now + sched[1]
+        actions = [] if self._fresh else self._freshness_restored(now)
         self.stats["heartbeats_received"] += 1
         report = self._tracker.observe_heartbeat(packet.seq)
         if report.new_gaps:
@@ -269,7 +309,7 @@ class LbrmReceiver(ProtocolMachine):
         self.stats["retrans_received"] += 1
         report = self._tracker.observe_data(packet.seq)
         if report.is_new:
-            actions.append(Deliver(seq=packet.seq, payload=packet.payload, recovered=True))
+            actions.append(Deliver(packet.seq, packet.payload, True))
             recovery = self._recoveries.pop(packet.seq, None)
             self.timers.cancel(("nack", packet.seq))
             if recovery is not None:
@@ -305,11 +345,7 @@ class LbrmReceiver(ProtocolMachine):
 
     # -- loss detection & recovery -----------------------------------------
 
-    def _liveness(self, now: float) -> list[Action]:
-        self._last_rx = now
-        self.timers.set(_MAXIT, now + self._watchdog_timeout())
-        if self._fresh:
-            return []
+    def _freshness_restored(self, now: float) -> list[Action]:
         self._fresh = True
         silent = now - self._stale_since if self._stale_since is not None else 0.0
         self._stale_since = None
@@ -351,21 +387,35 @@ class LbrmReceiver(ProtocolMachine):
             return [LeaveGroup(group=f"{self._group}/retrans")]
         return []
 
+    def next_wakeup(self) -> float | None:
+        # Called twice per delivery (node wakeup bookkeeping).  In the
+        # steady state no NACK timers are armed, so peeking at the
+        # TimerSet's dict directly skips a method call on the fast path.
+        timers = self.timers
+        if not timers._deadlines:
+            return self._maxit_deadline
+        due = timers.next_deadline()
+        maxit = self._maxit_deadline
+        if maxit is None:
+            return due
+        if due is None or maxit < due:
+            return maxit
+        return due
+
     def poll(self, now: float) -> list[Action]:
-        actions: list[Action] = []
-        due_nacks: list[int] = []
-        for key in self.timers.pop_due(now):
-            if key[0] == "maxit":
-                actions.extend(self._on_maxit(now))
-            elif key[0] == "nack":
-                due_nacks.append(key[1])
-        if due_nacks:
-            actions.extend(self._fire_nacks(due_nacks, now))
+        maxit = self._maxit_deadline
+        if maxit is not None and maxit <= now:
+            actions = self._on_maxit(now)
+        else:
+            actions = []
+        due = self.timers.pop_due(now)
+        if due:
+            actions.extend(self._fire_nacks([key[1] for key in due], now))
         return actions
 
     def _on_maxit(self, now: float) -> list[Action]:
         idle = now - self._last_rx if self._last_rx is not None else self._config.max_idle_time
-        self.timers.set(("maxit",), now + self._watchdog_timeout())
+        self._maxit_deadline = now + self._watchdog_timeout()
         if not self._fresh:
             return []
         self._fresh = False

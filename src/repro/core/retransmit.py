@@ -76,13 +76,17 @@ class SiteRequestTracker:
     def __init__(self, config: LoggerConfig | None = None, window: float = 1.0) -> None:
         self._config = config or LoggerConfig()
         self._window = window
+        # Config is frozen, so the threshold can be baked in: record()
+        # runs once per NACKed sequence and the property indirection
+        # showed up in logger-saturation profiles.
+        self._threshold = self._config.remulticast_threshold
         # seq -> (window start, distinct requesters, already re-multicast?)
         self._state: dict[int, tuple[float, set[Address], bool]] = {}
         self._obs_fired = obs.registry().counter("retransmit.site_remulticast")
 
     @property
     def threshold(self) -> int:
-        return self._config.remulticast_threshold
+        return self._threshold
 
     def record(self, seq: int, requester: Address, now: float, self_lost: bool = False) -> bool:
         """Record a request; True ⇒ re-multicast the repair site-wide now.
@@ -92,20 +96,26 @@ class SiteRequestTracker:
         the threshold drops to a single request.
         """
         state = self._state.get(seq)
-        if state is None or now - state[0] > self._window:
-            start: float = now
-            requesters: set[Address] = set()
-            fired = False
-            self._state[seq] = (start, requesters, fired)
+        if state is not None and now - state[0] <= self._window:
+            if state[2]:
+                # Already re-multicast this window — the common steady
+                # state during a repair storm.  Requesters are still
+                # tracked (for requesters()), but the threshold math and
+                # the tuple unpack are skipped.
+                state[1].add(requester)
+                return False
+            start, requesters, _ = state
+            requesters.add(requester)
         else:
-            start, requesters, fired = state
-        requesters.add(requester)
-        threshold = 1 if self_lost else self.threshold
-        should_fire = not fired and len(requesters) >= threshold
-        if should_fire:
-            self._state[seq] = (start, requesters, True)
-            self._obs_fired.inc()
-        return should_fire
+            start = now
+            requesters = {requester}
+            self._state[seq] = (start, requesters, False)
+        threshold = 1 if self_lost else self._threshold
+        if len(requesters) < threshold:
+            return False
+        self._state[seq] = (start, requesters, True)
+        self._obs_fired.inc()
+        return True
 
     def requesters(self, seq: int) -> frozenset[Address]:
         """Distinct requesters seen for ``seq`` in the current window."""

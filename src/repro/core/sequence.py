@@ -101,7 +101,7 @@ class SequenceTracker:
         """
         if seq <= 0:
             raise ValueError(f"sequence numbers start at 1, got {seq}")
-        if not self.started:
+        if self._first == 0:  # self.started, sans the property call
             self._first = seq
             self._highest = seq
             return _NEW
@@ -139,7 +139,7 @@ class SequenceTracker:
             raise ValueError(f"heartbeat sequence must be >= 0, got {seq}")
         if seq == 0:
             return _OLD
-        if not self.started:
+        if self._first == 0:  # self.started, sans the property call
             # Joined mid-stream during an idle period: baseline at seq,
             # and seq itself is missing (we never got its data).
             self._first = seq

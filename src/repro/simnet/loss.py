@@ -32,12 +32,25 @@ class LossModel(Protocol):
         """True when the packet is lost."""
         ...
 
+    def drops_batch(self, now: float, count: int) -> list[bool]:
+        """Fates of ``count`` packets all crossing at time ``now``.
+
+        Must be stream-equivalent to ``count`` sequential :meth:`drops`
+        calls: same RNG consumption, same verdicts, same state
+        afterwards — the batched fast path may never change a same-seed
+        report by a byte.
+        """
+        ...
+
 
 class NoLoss:
     """A perfect link."""
 
     def drops(self, now: float) -> bool:
         return False
+
+    def drops_batch(self, now: float, count: int) -> list[bool]:
+        return [False] * count
 
 
 def _instance_rng(family: str, counter: list[int]) -> random.Random:
@@ -72,6 +85,12 @@ class BernoulliLoss:
     def drops(self, now: float) -> bool:
         return self._rng.random() < self._p
 
+    def drops_batch(self, now: float, count: int) -> list[bool]:
+        # One bound-method lookup serves the whole fan-out; the list comp
+        # draws in exactly the order sequential drops() calls would.
+        rand, p = self._rng.random, self._p
+        return [rand() < p for _ in range(count)]
+
 
 class BurstLoss:
     """Total loss inside configured time windows, perfect outside.
@@ -99,6 +118,17 @@ class BurstLoss:
             if start > now:
                 break
         return self._base.drops(now)
+
+    def drops_batch(self, now: float, count: int) -> list[bool]:
+        for start, end in self._windows:
+            if start <= now < end:
+                # Sequential drops() returns before touching the base
+                # model inside a window, so the batch must not advance
+                # the base stream either.
+                return [True] * count
+            if start > now:
+                break
+        return self._base.drops_batch(now, count)
 
 
 class GilbertElliottLoss:
@@ -151,6 +181,27 @@ class GilbertElliottLoss:
         p = self._loss_bad if self._bad else self._loss_good
         return self._rng.random() < p
 
+    def drops_batch(self, now: float, count: int) -> list[bool]:
+        # The chain is inherently sequential (each verdict depends on the
+        # state the previous packet left behind); batching still hoists
+        # the attribute lookups out of the per-packet loop.
+        rand = self._rng.random
+        p_gb, p_bg = self._p_gb, self._p_bg
+        loss_good, loss_bad = self._loss_good, self._loss_bad
+        bad = self._bad
+        out = []
+        append = out.append
+        for _ in range(count):
+            if bad:
+                if rand() < p_bg:
+                    bad = False
+            else:
+                if rand() < p_gb:
+                    bad = True
+            append(rand() < (loss_bad if bad else loss_good))
+        self._bad = bad
+        return out
+
 
 class CompositeLoss:
     """Drops when *any* member model drops (e.g. burst over Bernoulli).
@@ -185,3 +236,17 @@ class CompositeLoss:
     def drops(self, now: float) -> bool:
         # Evaluate all models so stateful members keep advancing.
         return any([model.drops(now) for model in self._models])
+
+    def drops_batch(self, now: float, count: int) -> list[bool]:
+        # Per-member batches OR'd column-wise.  Stream-equivalent to the
+        # sequential interleaving because members draw from independent
+        # RNG instances (guaranteed by construction: defaults are
+        # numbered streams, ``rng=`` rebuilds members on split
+        # sub-streams), so each member's own draw order is all that
+        # determinism requires.
+        verdicts = [model.drops_batch(now, count) for model in self._models]
+        if not verdicts:
+            return [False] * count
+        if len(verdicts) == 1:
+            return verdicts[0]
+        return [any(col) for col in zip(*verdicts)]

@@ -25,17 +25,34 @@ from dataclasses import dataclass, field
 from typing import Callable, Protocol
 
 from repro.core.packets import Packet, encode
-from repro.simnet.engine import Simulator
+from repro.simnet.engine import Simulator, WakeupMux
 from repro.simnet.links import Link
 from repro.simnet.loss import LossModel
 from repro.simnet.rng import RngStreams
 
-__all__ = ["Host", "Site", "Network", "wire_size", "SAME_SITE_HOPS", "CROSS_SITE_HOPS"]
+__all__ = [
+    "Host",
+    "Site",
+    "Network",
+    "wire_size",
+    "clear_wire_size_cache",
+    "SAME_SITE_HOPS",
+    "CROSS_SITE_HOPS",
+]
 
 SAME_SITE_HOPS = 1
 CROSS_SITE_HOPS = 4
 
+# Sentinel for "no arrival time computed yet" in the fan-out site cache
+# (None is a real stored value there: it means the path dropped).
+_NO_ARRIVAL = object()
+
 _SIZE_CACHE: dict[int, int] = {}
+
+
+def clear_wire_size_cache() -> None:
+    """Drop memoized packet sizes (tests that demand cold-start runs)."""
+    _SIZE_CACHE.clear()
 
 
 def wire_size(packet: Packet) -> int:
@@ -112,20 +129,64 @@ class Network:
         # Sorted membership, cached per group (invalidated on join/leave):
         # multicast iterates it on every transmission.
         self._member_cache: dict[str, list[str]] = {}
+        # (group, src, ttl) -> (member-list identity, [(Host, site name)])
+        # for the batched fan-out: the per-member host lookup, site
+        # resolution, and TTL filter are membership-derived, so one walk
+        # serves every transmission until membership changes (validity is
+        # keyed on the cached member list object, which join/leave
+        # replace) or a host appears (add_host clears it).
+        self._fanout_cache: dict[tuple[str, str, int | None], tuple[list[str], list]] = {}
         # Fast path: one delivery event per distinct arrival time instead
-        # of one per receiver.  Off = the pre-batching per-receiver loop
-        # (kept as the reference baseline for the benchmark harness);
-        # both produce identical delivery and RNG-draw orderings.
+        # of one per receiver, and one wakeup event per distinct node
+        # deadline (the WakeupMux).  Off = the pre-batching per-receiver
+        # loop and per-node wakeups (kept as the reference baseline for
+        # the benchmark harness); both produce identical delivery and
+        # RNG-draw orderings.
+        self.wakeup_mux: WakeupMux | None = None
         self.batch_delivery = True
         # Optional observer called for every delivered/dropped packet:
         # fn(kind, packet, src, dst, now) with kind in {"rx", "drop"}.
-        self.observer: Callable[[str, Packet, str, str, float], None] | None = None
+        # (A property: assigning it also clears `batch_observer`.)
+        self._observer: Callable[[str, Packet, str, str, float], None] | None = None
+        # Optional amortized counterpart, fn(packet, src, hosts, now),
+        # called once per co-timed delivery batch *instead of* per-host
+        # observer calls.  Only the observer's owner may install it (see
+        # the observer setter): anything that replaces or wraps
+        # `observer` — the chaos oracle chains it — silently falls back
+        # to the exact per-packet path.
+        self.batch_observer: Callable[[Packet, str, list[Host], float], None] | None = None
         # Optional packet mangler (repro.chaos.PacketChaos): given one
         # about-to-be-scheduled delivery, returns the arrival times to
         # schedule instead — [] drops (corruption), [at, at+d] duplicates,
         # [at+d] reorders.  None = no mangling, zero cost.
         self.chaos: "PacketChaosHook | None" = None
         self.stats = {"unicast_sent": 0, "multicast_sent": 0, "delivered": 0, "dropped": 0}
+
+    @property
+    def batch_delivery(self) -> bool:
+        return self._batch_delivery
+
+    @batch_delivery.setter
+    def batch_delivery(self, on: bool) -> None:
+        self._batch_delivery = on
+        # The wakeup mux is part of the same fast path; the reference
+        # configuration keeps one simulator event per node wakeup.
+        # Buckets already scheduled by an old mux self-heal: their fire
+        # loop skips nodes whose armed deadline no longer matches, and a
+        # spurious poll is legal under the machine contract.
+        self.wakeup_mux = WakeupMux(self.sim) if on else None
+
+    @property
+    def observer(self) -> "Callable[[str, Packet, str, str, float], None] | None":
+        return self._observer
+
+    @observer.setter
+    def observer(self, fn: "Callable[[str, Packet, str, str, float], None] | None") -> None:
+        # Replacing the per-packet observer invalidates any batched
+        # observer fast path — it belonged to the previous observer, and
+        # leaving it installed would let deliveries bypass the new one.
+        self._observer = fn
+        self.batch_observer = None
 
     # -- construction ----------------------------------------------------
 
@@ -178,6 +239,10 @@ class Network:
         host = Host(name=name, site=site, inbound_loss=inbound_loss)
         site.hosts.append(host)
         self._hosts[name] = host
+        # A host may be created under a name that already joined a group
+        # (join() does not validate existence) — cached fan-outs built
+        # while it was missing must be rebuilt.
+        self._fanout_cache.clear()
         return host
 
     # -- lookup ----------------------------------------------------------
@@ -284,27 +349,64 @@ class Network:
             self._send_multicast_reference(src, src_name, members, packet, ttl, now, cross)
             return
 
-        src_site = src.site
+        # Membership-derived fan-out targets, cached across transmissions.
+        fanout_key = (group, src_name, ttl)
+        cached = self._fanout_cache.get(fanout_key)
+        if cached is None or cached[0] is not members:
+            src_site = src.site
+            hosts = self._hosts
+            pairs: list[tuple[Host, str]] = []
+            for member_name in members:
+                if member_name == src_name:
+                    continue
+                dst = hosts.get(member_name)
+                if dst is None:
+                    continue
+                hops = SAME_SITE_HOPS if dst.site is src_site else CROSS_SITE_HOPS
+                if ttl is not None and hops > ttl:
+                    continue  # scoped out, not an error
+                pairs.append((dst, dst.site.name))
+            if len(self._fanout_cache) >= 256:
+                self._fanout_cache.clear()
+            self._fanout_cache[fanout_key] = (members, pairs)
+        else:
+            pairs = cached[1]
+
         # Site name -> arrival time (None = shared drop on the path); all
         # receivers behind the same tree edges share one outcome.
         site_at: dict[str, float | None] = {}
         batches: dict[float, list[Host]] = {}
-        hosts = self._hosts
         chaos = self.chaos
-        for member_name in members:
-            if member_name == src_name:
-                continue
-            dst = hosts.get(member_name)
-            if dst is None:
-                continue
-            dst_site = dst.site
-            hops = SAME_SITE_HOPS if dst_site is src_site else CROSS_SITE_HOPS
-            if ttl is not None and hops > ttl:
-                continue  # scoped out, not an error
-            site_name = dst_site.name
-            if site_name in site_at:
-                at = site_at[site_name]
-            else:
+
+        # Consecutive members sharing one inbound-loss instance and one
+        # arrival time (a site behind a site-level loss model) get their
+        # fates from a single drops_batch() call.  Per-instance stream
+        # order — all determinism requires — is preserved, and flushing
+        # whenever a member breaks the run keeps drop/delivery processing
+        # in exact member order.
+        run_hosts: list[Host] = []
+        run_loss: "LossModel | None" = None
+        run_at = 0.0
+
+        def flush_run() -> None:
+            verdicts = run_loss.drops_batch(run_at, len(run_hosts))  # type: ignore[union-attr]
+            for dst, dead in zip(run_hosts, verdicts):
+                if dead:
+                    self._drop(packet, src_name, dst.name, run_at)
+                elif chaos is not None:
+                    self._deliver_chaos(dst, packet, src_name, run_at)
+                else:
+                    bucket = batches.get(run_at)
+                    if bucket is None:
+                        batches[run_at] = [dst]
+                    else:
+                        bucket.append(dst)
+            run_hosts.clear()
+
+        site_at_get = site_at.get
+        for dst, site_name in pairs:
+            at = site_at_get(site_name, _NO_ARRIVAL)
+            if at is _NO_ARRIVAL:
                 at = now
                 for link in self.path(src, dst)[0]:
                     at = cross(link, at)  # type: ignore[arg-type]
@@ -312,11 +414,19 @@ class Network:
                         break
                 site_at[site_name] = at
             if at is None:
-                self._drop(packet, src_name, member_name, now)
+                if run_hosts:
+                    flush_run()
+                self._drop(packet, src_name, dst.name, now)
                 continue
-            if dst.inbound_loss is not None and dst.inbound_loss.drops(at):
-                self._drop(packet, src_name, dst.name, at)
+            loss = dst.inbound_loss
+            if loss is not None:
+                if run_hosts and (loss is not run_loss or at != run_at):
+                    flush_run()
+                run_loss, run_at = loss, at
+                run_hosts.append(dst)
                 continue
+            if run_hosts:
+                flush_run()
             if chaos is not None:
                 self._deliver_chaos(dst, packet, src_name, at)
                 continue
@@ -325,6 +435,8 @@ class Network:
                 batches[at] = [dst]
             else:
                 bucket.append(dst)
+        if run_hosts:
+            flush_run()
         schedule = self.sim.schedule
         for at, co_timed in batches.items():
             schedule(at, self._arrive_batch, co_timed, packet, src_name)
@@ -383,8 +495,8 @@ class Network:
     def _arrive(self, dst: Host, packet: Packet, src_name: str) -> None:
         dst.rx_packets += 1
         self.stats["delivered"] += 1
-        if self.observer is not None:
-            self.observer("rx", packet, src_name, dst.name, self.sim.now)
+        if self._observer is not None:
+            self._observer("rx", packet, src_name, dst.name, self.sim.now)
         if dst.endpoint is not None:
             dst.endpoint.receive(packet, src_name, self.sim.now)
 
@@ -393,23 +505,33 @@ class Network:
 
         Iteration order is membership order, matching the tie-breaker
         order the per-receiver reference path produces for simultaneous
-        deliveries.
+        deliveries.  The delivered count and (when its owner installed
+        one) the observer are charged once per batch, not per host.
         """
         now = self.sim.now
-        stats = self.stats
-        observer = self.observer
-        for dst in co_timed:
-            dst.rx_packets += 1
-            stats["delivered"] += 1
-            if observer is not None:
-                observer("rx", packet, src_name, dst.name, now)
-            if dst.endpoint is not None:
-                dst.endpoint.receive(packet, src_name, now)
+        self.stats["delivered"] += len(co_timed)
+        batch_obs = self.batch_observer
+        if batch_obs is not None:
+            batch_obs(packet, src_name, co_timed, now)
+            for dst in co_timed:
+                dst.rx_packets += 1
+                endpoint = dst.endpoint
+                if endpoint is not None:
+                    endpoint.receive(packet, src_name, now)
+        else:
+            observer = self._observer
+            for dst in co_timed:
+                dst.rx_packets += 1
+                if observer is not None:
+                    observer("rx", packet, src_name, dst.name, now)
+                endpoint = dst.endpoint
+                if endpoint is not None:
+                    endpoint.receive(packet, src_name, now)
 
     def _drop(self, packet: Packet, src_name: str, dst_name: str, now: float) -> None:
         self.stats["dropped"] += 1
         host = self._hosts.get(dst_name)
         if host is not None:
             host.rx_dropped += 1
-        if self.observer is not None:
-            self.observer("drop", packet, src_name, dst_name, now)
+        if self._observer is not None:
+            self._observer("drop", packet, src_name, dst_name, now)

@@ -39,18 +39,40 @@ class PacketTrace:
         self._network = network
         self._keep = keep_records
         self.records: list[TraceRecord] = []
-        # (kind, ptype, cross_site) -> count
-        self.counts: Counter = Counter()
-        # Mirror every observation into the process registry as
-        # ``simnet.packets{kind,ptype,scope}`` so experiments can source
-        # their figures from one place.  Counters are cached per key —
-        # observe() is the hottest call in every simulation.
+        # (kind, ptype, cross_site) -> [count, mirror_instrument_or_None].
+        # A two-slot list cell costs one dict hit per observation; the
+        # registry instrument rides in the cell only while a recording
+        # registry is installed, so the common unrecorded run never pays
+        # a no-op inc() call.  ``counts`` materializes the Counter view.
+        self._cells: dict[tuple, list] = {}
         self._registry = obs.registry()
-        self._obs_counters: dict[tuple[str, int, bool], object] = {}
         # Hosts never change sites, so (src, dst) -> cross-site resolves
         # to a dict hit after the first packet on each pair.
         self._site_cache: dict[tuple[str, str], bool] = {}
         network.observer = self.observe
+        # Installed *after* the observer on purpose: assigning observer
+        # clears batch_observer, and anything else replacing/wrapping the
+        # observer (the chaos oracle chains it) clears it again — so the
+        # amortized path can never bypass a foreign observer.
+        network.batch_observer = self.observe_batch
+
+    @property
+    def counts(self) -> Counter:
+        """(kind, ptype, cross_site) -> count, as a Counter view."""
+        return Counter({key: cell[0] for key, cell in self._cells.items()})
+
+    def _cell(self, key: tuple) -> list:
+        reg = self._registry
+        instrument = None
+        if reg.enabled:
+            instrument = reg.counter(
+                "simnet.packets",
+                kind=key[0],
+                ptype=PacketType(key[1]).name,
+                scope="cross" if key[2] else "local",
+            )
+        cell = self._cells[key] = [0, instrument]
+        return cell
 
     def observe(self, kind: str, packet: Packet, src: str, dst: str, now: float) -> None:
         pair = (src, dst)
@@ -60,17 +82,12 @@ class PacketTrace:
         # PacketType is an IntEnum: as a dict key it hashes/compares
         # like its int value, so skip the per-packet int() conversion.
         key = (kind, packet.TYPE, cross)
-        self.counts[key] += 1
-        counter = self._obs_counters.get(key)
-        if counter is None:
-            counter = self._registry.counter(
-                "simnet.packets",
-                kind=kind,
-                ptype=PacketType(key[1]).name,
-                scope="cross" if cross else "local",
-            )
-            self._obs_counters[key] = counter
-        counter.inc()
+        cell = self._cells.get(key)
+        if cell is None:
+            cell = self._cell(key)
+        cell[0] += 1
+        if cell[1] is not None:
+            cell[1].inc()
         if self._keep:
             seq = getattr(packet, "seq", getattr(packet, "cum_seq", 0))
             self.records.append(
@@ -84,6 +101,50 @@ class PacketTrace:
                     cross_site=cross,
                 )
             )
+
+    def observe_batch(self, packet: Packet, src: str, hosts: list, now: float) -> None:
+        """Amortized ``observe``: one co-timed delivery batch per call.
+
+        Byte-equivalent to per-host ``observe("rx", ...)`` calls — the
+        per-scope counts are bumped by the batch totals, and record
+        keeping falls back to the exact per-host path.
+        """
+        src_host = self._network._hosts.get(src)
+        src_site = src_host.site if src_host is not None else None
+        n_cross = 0
+        if src_site is not None:
+            for h in hosts:
+                if h.site is not src_site:
+                    n_cross += 1
+        n_local = len(hosts) - n_cross
+        ptype = packet.TYPE
+        cells = self._cells
+        for cross, n in ((False, n_local), (True, n_cross)):
+            if not n:
+                continue
+            key = ("rx", ptype, cross)
+            cell = cells.get(key)
+            if cell is None:
+                cell = self._cell(key)
+            cell[0] += n
+            if cell[1] is not None:
+                cell[1].inc(n)
+        if self._keep:
+            seq = getattr(packet, "seq", getattr(packet, "cum_seq", 0))
+            it = int(ptype)
+            append = self.records.append
+            for h in hosts:
+                append(
+                    TraceRecord(
+                        time=now,
+                        kind="rx",
+                        ptype=it,
+                        seq=seq,
+                        src=src,
+                        dst=h.name,
+                        cross_site=src_site is not None and h.site is not src_site,
+                    )
+                )
 
     def _cross_site(self, src: str, dst: str) -> bool:
         try:
@@ -110,9 +171,15 @@ class PacketTrace:
 
     def reset(self) -> None:
         self.records.clear()
-        self.counts.clear()
+        self._cells.clear()
+
+    def _cell_count(self, key: tuple) -> int:
+        cell = self._cells.get(key)
+        return cell[0] if cell is not None else 0
 
     def _count(self, kind: str, ptype: PacketType, cross_site: bool | None) -> int:
         if cross_site is None:
-            return self.counts[(kind, int(ptype), True)] + self.counts[(kind, int(ptype), False)]
-        return self.counts[(kind, int(ptype), cross_site)]
+            return self._cell_count((kind, int(ptype), True)) + self._cell_count(
+                (kind, int(ptype), False)
+            )
+        return self._cell_count((kind, int(ptype), cross_site))

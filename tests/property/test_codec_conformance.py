@@ -1,0 +1,204 @@
+"""Differential codec conformance: struct fast path vs legacy spec.
+
+The per-field ``encode_body`` / ``decode_body`` methods are the
+executable wire-format specification; the precompiled ``struct`` codecs
+are the fast path the hot loops actually run.  This suite fuzzes every
+registered packet type — the strategies are derived from each class's
+``WIRE`` declaration, so a new packet type is covered the moment it is
+registered — and asserts the two paths are indistinguishable:
+
+* identical bytes out of ``encode`` for identical packets,
+* identical packets out of ``decode`` for identical bytes,
+* identical rejection of truncated, extended, and garbage datagrams,
+  always via :class:`DecodeError` — a raw ``struct.error`` escaping
+  either path is a crash bug in a transport callback.
+
+A ``DecodeError`` from one mode with a successful parse in the other
+would let a mixed fleet (old decoder, new encoder or vice versa)
+disagree about what is on the wire, so every assertion here runs the
+same input through both modes.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import packets as P
+from repro.core.errors import DecodeError
+
+# -- strategies derived from the WIRE specs ----------------------------------
+
+_GROUPS = st.text(min_size=1, max_size=24).filter(lambda s: len(s.encode()) <= 255)
+
+_KIND_VALUES = {
+    "u8": st.integers(min_value=0, max_value=2**8 - 1),
+    "u16": st.integers(min_value=0, max_value=2**16 - 1),
+    "u32": st.integers(min_value=0, max_value=2**32 - 1),
+    "u64": st.integers(min_value=0, max_value=2**64 - 1),
+    "f64": st.floats(allow_nan=False, width=64),
+    "bytes": st.binary(max_size=512),
+    "str": st.text(max_size=24).filter(lambda s: len(s.encode()) <= 255),
+    "u64seq": st.lists(
+        st.integers(min_value=0, max_value=2**64 - 1), min_size=1, max_size=32
+    ).map(tuple),
+}
+
+
+def _packet_strategy(cls):
+    wire = cls.__dict__.get("WIRE") or ()
+    spec = {"group": _GROUPS}
+    for name, kind in wire:
+        spec[name] = _KIND_VALUES[kind]
+    return st.fixed_dictionaries(spec).map(lambda kw: cls(**kw))
+
+
+# Every registered type, in wire-type order.  The one_of covers the
+# whole registry in each property; the parametrized tests below pin the
+# per-class cases so a failure names the offending type directly.
+_ALL_CLASSES = [cls for _, cls in sorted(P._REGISTRY.items())]
+_PACKETS = st.one_of([_packet_strategy(cls) for cls in _ALL_CLASSES])
+
+
+def _with_mode(mode, fn):
+    """Run ``fn`` under a codec mode, restoring the process default."""
+    prior = P.codec_mode()
+    P.set_codec_mode(mode)
+    try:
+        return fn()
+    finally:
+        P.set_codec_mode(prior)
+
+
+def _decode_both(data):
+    """Decode under both modes; return (struct_outcome, legacy_outcome).
+
+    Outcomes are ``("ok", packet)`` or ``("error", message)``.  Only
+    :class:`DecodeError` counts as rejection — anything else (above all
+    ``struct.error``) propagates and fails the test.
+    """
+    outcomes = []
+    for mode in ("struct", "legacy"):
+        try:
+            packet = _with_mode(mode, lambda: P.decode_uncached(data))
+        except DecodeError:
+            outcomes.append(("error",))
+        else:
+            outcomes.append(("ok", packet))
+    return outcomes
+
+
+@pytest.mark.parametrize("cls", _ALL_CLASSES, ids=lambda c: c.__name__)
+def test_every_registered_type_has_a_struct_codec(cls):
+    """The fast path may never silently fall back for a registered type."""
+    assert cls in P._STRUCT_ENCODERS
+    assert int(cls.TYPE) in P._STRUCT_DECODERS
+
+
+@settings(max_examples=300, deadline=None)
+@given(_PACKETS)
+def test_struct_and_legacy_encodings_identical(pkt):
+    wire_struct = _with_mode("struct", lambda: P.encode_uncached(pkt))
+    wire_legacy = _with_mode("legacy", lambda: P.encode_uncached(pkt))
+    assert wire_struct == wire_legacy
+
+
+@settings(max_examples=300, deadline=None)
+@given(_PACKETS)
+def test_struct_and_legacy_roundtrip_identical(pkt):
+    wire = _with_mode("legacy", lambda: P.encode_uncached(pkt))
+    via_struct = _with_mode("struct", lambda: P.decode_uncached(wire))
+    via_legacy = _with_mode("legacy", lambda: P.decode_uncached(wire))
+    assert type(via_struct) is type(pkt)
+    assert via_struct == pkt
+    assert via_legacy == pkt
+
+
+@settings(max_examples=150, deadline=None)
+@given(_PACKETS, st.data())
+def test_truncation_rejected_identically(pkt, data):
+    """Any proper prefix of a valid datagram fails in both modes."""
+    wire = _with_mode("struct", lambda: P.encode_uncached(pkt))
+    cut = data.draw(st.integers(min_value=1, max_value=len(wire)))
+    struct_out, legacy_out = _decode_both(wire[: len(wire) - cut])
+    # Cutting from a correct encoding can never leave a shorter valid
+    # parse (every body codec checks exact length), so both must reject.
+    assert struct_out == ("error",)
+    assert legacy_out == ("error",)
+
+
+@settings(max_examples=150, deadline=None)
+@given(_PACKETS, st.binary(min_size=1, max_size=8))
+def test_trailing_garbage_rejected_identically(pkt, suffix):
+    wire = _with_mode("struct", lambda: P.encode_uncached(pkt))
+    struct_out, legacy_out = _decode_both(wire + suffix)
+    assert struct_out == ("error",)
+    assert legacy_out == ("error",)
+
+
+@settings(max_examples=300, deadline=None)
+@given(st.binary(max_size=128))
+def test_garbage_outcomes_identical(data):
+    """Arbitrary bytes: both modes agree — same packet or both reject."""
+    struct_out, legacy_out = _decode_both(data)
+    assert struct_out == legacy_out
+
+
+@settings(max_examples=150, deadline=None)
+@given(_PACKETS, st.data())
+def test_flipped_byte_never_escapes_decode_error(pkt, data):
+    """Single-byte corruption parses as *something* or raises DecodeError.
+
+    The interesting corruptions are in-structure (length fields, type
+    byte, count words) — exactly where a naive codec lets struct.error
+    or UnicodeDecodeError out.  _decode_both re-raises anything that is
+    not a DecodeError.
+    """
+    wire = bytearray(_with_mode("struct", lambda: P.encode_uncached(pkt)))
+    index = data.draw(st.integers(min_value=0, max_value=len(wire) - 1))
+    flip = data.draw(st.integers(min_value=1, max_value=255))
+    wire[index] ^= flip
+    struct_out, legacy_out = _decode_both(bytes(wire))
+    if struct_out[0] == "ok" and legacy_out[0] == "ok":
+        assert struct_out[1] == legacy_out[1]
+
+
+# -- input normalization (the transport hands us whatever it has) ------------
+
+
+def test_decode_accepts_bytearray_and_memoryview():
+    """Regression: asyncio transports deliver bytearray/memoryview.
+
+    The memoized ``decode`` probes a dict keyed by wire bytes; an
+    unhashable bytearray used to raise TypeError before normalization.
+    Both views must parse, hit the same memo entry as the bytes input,
+    and never poison the cache with a non-bytes key.
+    """
+    pkt = P.DataPacket(group="g", seq=7, payload=b"payload", epoch=3)
+    wire = P.encode(pkt)
+    P.clear_codec_caches()
+    from_bytes = P.decode(wire)
+    from_bytearray = P.decode(bytearray(wire))
+    from_memoryview = P.decode(memoryview(wire))
+    assert from_bytes == from_bytearray == from_memoryview == pkt
+    # All three probes resolved to one cached object (one miss, two hits)
+    # and the memo holds only hashable bytes keys.
+    assert from_bytes is from_bytearray is from_memoryview
+    stats = P.codec_cache_stats()["decode"]
+    assert stats["size"] >= 1
+    assert all(type(k) is bytes for k in P._DECODE_CACHE.entries)
+
+
+def test_decode_uncached_accepts_bytearray_and_memoryview():
+    pkt = P.NackPacket(group="g", seqs=(4, 9))
+    wire = P.encode_uncached(pkt)
+    assert P.decode_uncached(bytearray(wire)) == pkt
+    assert P.decode_uncached(memoryview(wire)) == pkt
+
+
+def test_decode_rejects_malformed_bytearray_with_decode_error():
+    with pytest.raises(DecodeError):
+        P.decode(bytearray(b"\x00\x01\x02"))
+    with pytest.raises(DecodeError):
+        P.decode_uncached(memoryview(b"LBRM-but-not-really"))

@@ -96,3 +96,169 @@ def test_wheel_granularity_is_behavior_free(ops, granularity):
     """Slot width is a performance knob, never an ordering decision."""
     coarse = Simulator(wheel_granularity=granularity, wheel_slots=16)
     assert _drive(coarse, ops) == _drive(ReferenceSimulator(), ops)
+
+
+# -- freelist + accounting under adversarial interleavings -------------------
+#
+# The event-record pool recycles ScheduledEvent shells the moment the
+# run loop proves no outside reference survives.  The properties below
+# drive the pool as hard as possible — handles dropped immediately
+# (maximal recycling), cancels from inside callbacks, run_until budgets
+# that stop mid-timestamp — and assert the three things a freelist bug
+# would break: execution order still matches the reference engine, a
+# cancelled event never fires (no shell "resurrection"), and the
+# pending/tombstone gauges never go negative or drift from the spec's.
+
+# ("schedule", delay, chain, keep)   keep=False drops the handle at once
+# ("cancel", index)                  cancel the index-th *kept* handle
+# ("cancel_inside", delay, index)    schedule a canceller firing at delay
+# ("run", dt, budget)                run_until(now+dt, max_events=budget)
+_CHURN_OPS = st.lists(
+    st.one_of(
+        st.tuples(
+            st.just("schedule"),
+            st.floats(min_value=0.0, max_value=2.0, allow_nan=False),
+            st.integers(min_value=0, max_value=2),
+            st.booleans(),
+        ),
+        st.tuples(st.just("cancel"), st.integers(min_value=0, max_value=200)),
+        st.tuples(
+            st.just("cancel_inside"),
+            st.floats(min_value=0.0, max_value=2.0, allow_nan=False),
+            st.integers(min_value=0, max_value=200),
+        ),
+        st.tuples(
+            st.just("run"),
+            st.floats(min_value=0.0, max_value=0.5, allow_nan=False),
+            st.one_of(st.none(), st.integers(min_value=0, max_value=7)),
+        ),
+    ),
+    min_size=1,
+    max_size=60,
+)
+
+
+def _drive_churn(sim, ops, check_gauges=None):
+    """Apply churn ops; return (fired labels in order, wrongly-fired set)."""
+    fired: list[tuple[float, int]] = []
+    kept: list = []
+    # label -> handle for every schedule, so cancellation can be tracked
+    # even after the shell is recycled; labels are never reused.
+    cancelled_unfired: set[int] = set()
+    fired_labels: set[int] = set()
+    label = iter(range(10**6))
+
+    def cancel_kept(index: int) -> None:
+        if not kept:
+            return
+        tag, handle = kept[index % len(kept)]
+        if tag not in fired_labels and tag not in cancelled_unfired:
+            if not handle.cancelled:
+                cancelled_unfired.add(tag)
+        handle.cancel()
+
+    def fire(tag: int, chain: int) -> None:
+        fired.append((sim.now, tag))
+        fired_labels.add(tag)
+        for i in range(chain):
+            # Chained events drop their handles immediately: the only
+            # reference lives inside the engine, so the shell recycles
+            # the moment it fires.
+            sim.schedule(sim.now + 0.003 * (i + 1), fire, next(label), 0)
+
+    def canceller(tag: int, index: int) -> None:
+        fired.append((sim.now, tag))
+        fired_labels.add(tag)
+        cancel_kept(index)
+
+    for op in ops:
+        if op[0] == "schedule":
+            tag = next(label)
+            handle = sim.schedule(sim.now + op[1], fire, tag, op[2])
+            if op[3]:
+                kept.append((tag, handle))
+            del handle  # unkept shells may recycle as soon as they fire
+        elif op[0] == "cancel":
+            cancel_kept(op[1])
+        elif op[0] == "cancel_inside":
+            tag = next(label)
+            kept.append((tag, sim.schedule(sim.now + op[1], canceller, tag, op[2])))
+        else:
+            sim.run_until(sim.now + op[1], max_events=op[2])
+        if check_gauges is not None:
+            check_gauges(sim)
+    sim.run_until(sim.now + 10.0)
+    return fired, fired_labels & cancelled_unfired
+
+
+@settings(max_examples=150, deadline=None)
+@given(_CHURN_OPS)
+def test_freelist_never_resurrects_cancelled_events(ops):
+    """Maximal recycling + cancels from callbacks: order still matches
+    the reference, and nothing cancelled-before-due ever fires."""
+    wheel_fired, wheel_wrong = _drive_churn(Simulator(), ops)
+    ref_fired, ref_wrong = _drive_churn(ReferenceSimulator(), ops)
+    assert wheel_wrong == set()
+    assert ref_wrong == set()
+    assert wheel_fired == ref_fired
+
+
+@settings(max_examples=100, deadline=None)
+@given(_CHURN_OPS)
+def test_accounting_never_negative_under_churn(ops):
+    """pending/tombstones/peak/freelist stay sane after every single op."""
+    def gauges(sim):
+        assert sim.pending >= 0
+        assert sim.tombstones >= 0
+        assert sim.peak_pending >= sim.pending
+        assert 0 <= sim.freelist_size <= 8192
+
+    wheel = Simulator(compact_min=4, compact_ratio=0.5)
+    wheel_fired, _ = _drive_churn(wheel, ops, check_gauges=gauges)
+    ref = ReferenceSimulator()
+    ref_fired, _ = _drive_churn(ref, ops)
+    assert wheel_fired == ref_fired
+    # Fully drained: live accounting returns to zero and agrees.
+    assert wheel.pending == ref.pending == 0
+    assert wheel.processed == ref.processed
+
+
+@settings(max_examples=100, deadline=None)
+@given(_CHURN_OPS, st.integers(min_value=0, max_value=5))
+def test_run_until_budget_matches_reference(ops, budget):
+    """Stopping mid-timestamp via max_events leaves identical state."""
+    wheel, ref = Simulator(), ReferenceSimulator()
+    for sim in (wheel, ref):
+        fired = []
+        for i, op in enumerate(ops):
+            if op[0] == "schedule":
+                sim.schedule(sim.now + op[1], fired.append, i)
+        sim.run_until(sim.now + 1.0, max_events=budget)
+        sim._budget_fired = list(fired)  # stash for comparison below
+    assert wheel._budget_fired == ref._budget_fired
+    assert wheel.processed == ref.processed
+    assert wheel.pending == ref.pending
+
+
+def test_freelist_reuse_is_invisible_to_stale_handles():
+    """A recycled shell must not let an old handle cancel a new event.
+
+    The pool only recycles shells with no surviving references, so a
+    handle the driver still holds can never alias a newer event — this
+    pins that invariant from the outside: cancel-after-fire on a kept
+    handle is a no-op forever.
+    """
+    sim = Simulator()
+    fired: list[str] = []
+    first = sim.schedule(1.0, fired.append, "first")
+    sim.run_until(2.0)
+    assert fired == ["first"]
+    # Shell churn: many drop-at-once events force pool traffic.
+    for _ in range(64):
+        sim.schedule(sim.now + 0.001, fired.append, "churn")
+    sim.run_until(sim.now + 1.0)
+    later = sim.schedule(sim.now + 1.0, fired.append, "later")
+    first.cancel()  # stale handle: must not touch the recycled shell
+    assert not later.cancelled
+    sim.run_until(sim.now + 2.0)
+    assert fired[-1] == "later"

@@ -1,0 +1,106 @@
+"""The perf gate and profiler plumbing behind ``repro bench``.
+
+``check_results`` is the CI regression gate: it compares fresh
+fast-engine throughput against committed ``BENCH_*.json`` baselines and
+must catch a real slowdown (the synthetic 20% case below) while staying
+quiet inside the tolerance band.  ``profile_scenario`` must leave both
+artifacts a human and a flamegraph tool can read.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.benchrunner import (
+    build_bench_parser,
+    check_results,
+    default_harness_path,
+    profile_scenario,
+)
+
+
+def _result(name: str, eps: float, tier: str = "quick") -> dict:
+    return {
+        "scenario": name,
+        "tier": tier,
+        "engines": {"fast": {"events_per_sec": eps, "wall_s": 1.0}},
+    }
+
+
+def _write_baseline(dirpath, result: dict) -> None:
+    (dirpath / f"BENCH_{result['scenario']}.json").write_text(json.dumps(result))
+
+
+class TestCheckResults:
+    def test_synthetic_20pct_slowdown_fails_the_gate(self, tmp_path):
+        _write_baseline(tmp_path, _result("fig7", 100_000.0))
+        failures = check_results([_result("fig7", 80_000.0)], tmp_path, tolerance=0.15)
+        assert len(failures) == 1
+        assert "regressed 20.0%" in failures[0]
+        # The message tells the developer how to refresh intentionally.
+        assert "refresh the baseline" in failures[0]
+
+    def test_within_tolerance_passes(self, tmp_path):
+        _write_baseline(tmp_path, _result("fig7", 100_000.0))
+        assert check_results([_result("fig7", 90_000.0)], tmp_path, tolerance=0.15) == []
+
+    def test_improvement_passes(self, tmp_path):
+        _write_baseline(tmp_path, _result("fig7", 100_000.0))
+        assert check_results([_result("fig7", 400_000.0)], tmp_path) == []
+
+    def test_exactly_at_floor_passes(self, tmp_path):
+        _write_baseline(tmp_path, _result("fig7", 100_000.0))
+        assert check_results([_result("fig7", 85_000.0)], tmp_path, tolerance=0.15) == []
+
+    def test_missing_baseline_is_a_failure_with_instructions(self, tmp_path):
+        failures = check_results([_result("fig7", 1.0)], tmp_path)
+        assert len(failures) == 1
+        assert "no baseline" in failures[0]
+
+    def test_tier_mismatch_refuses_to_compare(self, tmp_path):
+        _write_baseline(tmp_path, _result("fig7", 100_000.0, tier="full"))
+        failures = check_results([_result("fig7", 100_000.0, tier="quick")], tmp_path)
+        assert len(failures) == 1
+        assert "tier" in failures[0]
+
+    def test_multiple_scenarios_report_independently(self, tmp_path):
+        _write_baseline(tmp_path, _result("a", 100.0))
+        _write_baseline(tmp_path, _result("b", 100.0))
+        failures = check_results(
+            [_result("a", 50.0), _result("b", 99.0)], tmp_path, tolerance=0.15
+        )
+        assert len(failures) == 1
+        assert failures[0].startswith("a:")
+
+
+class TestBenchParser:
+    def test_check_and_profile_flags_parse(self):
+        args = build_bench_parser().parse_args(
+            ["--full", "--check", "benchmarks/results", "--check-tolerance", "0.2"]
+        )
+        assert args.tier == "full"
+        assert args.check == "benchmarks/results"
+        assert args.check_tolerance == pytest.approx(0.2)
+        args = build_bench_parser().parse_args(["--profile", "--only", "fig7_nack_reduction"])
+        assert args.profile is True
+        assert args.check is None
+
+
+@pytest.mark.slow
+def test_profile_scenario_writes_readable_artifacts(tmp_path):
+    run, pstats_path, txt_path = profile_scenario(
+        str(default_harness_path()), "logger_throughput", "quick", "fast", tmp_path
+    )
+    assert run["events_per_sec"] > 0
+    assert pstats_path.exists() and pstats_path.stat().st_size > 0
+    # The raw dump loads back into pstats (what snakeviz/flameprof read).
+    import pstats
+
+    stats = pstats.Stats(str(pstats_path))
+    assert stats.total_calls > 0
+    text = txt_path.read_text()
+    assert "top 30 by cumulative time" in text
+    assert "top 30 by internal time" in text
+    assert "logger_throughput" in text
