@@ -33,6 +33,7 @@ scenario runs).
 from __future__ import annotations
 
 import json
+import resource
 import sys
 import time
 from pathlib import Path
@@ -42,10 +43,20 @@ from repro.core.config import LbrmConfig
 from repro.core.actions import SendMulticast, SendUnicast
 from repro.core.logger import LoggerRole, LogServer
 from repro.core.packets import NackPacket
+from repro.scale.deploy import ScaleSpec
+from repro.scale.shard import ScaleScenario, run_sharded
 from repro.simnet.deploy import DeploymentSpec, LbrmDeployment
 from repro.simnet.engine import ReferenceSimulator, Simulator
 
-__all__ = ["SCENARIOS", "ENGINES", "run_scenario", "write_result", "main"]
+__all__ = [
+    "SCENARIOS",
+    "SCALE_SCENARIOS",
+    "ALL_SCENARIOS",
+    "ENGINES",
+    "run_scenario",
+    "write_result",
+    "main",
+]
 
 RESULTS_DIR = Path(__file__).resolve().parent / "results"
 
@@ -284,15 +295,153 @@ SCENARIOS = {
 }
 
 
+# -- scale scenarios ---------------------------------------------------------
+#
+# The ``--scale`` tier measures the aggregate-receiver machinery
+# (repro.scale): populations the exact engine cannot host are modeled
+# by one AggregateSiteReceiver per site, so a 10^5–10^6 receiver run
+# fits in a few hundred simulated hosts.  Scale scenarios run the fast
+# engine only — the reference engine exists to validate the exact
+# per-receiver path, and the aggregate model's conformance to it is
+# established statistically by tests/scale/, not by replaying the same
+# history under a second engine.  Alongside events/s each scenario
+# records ``peak_rss_kb`` (ru_maxrss) so BENCH files track the memory
+# cost of scale.
+
+
+def _require_fast(name: str, engine: str) -> None:
+    if engine != "fast":
+        raise ValueError(
+            f"{name} runs the fast engine only; the aggregate model has no "
+            "reference-engine twin (conformance lives in tests/scale/)"
+        )
+
+
+def _scale_fig7_params(tier: str) -> dict:
+    if tier == "scale":
+        # 200 sites x 500 modeled receivers = 10^5 receivers.
+        return {"n_sites": 200, "receivers_per_site": 500, "n_packets": 40,
+                "interval": 0.05, "receiver_loss": 0.002, "shared_loss": 0.002}
+    return {"n_sites": 16, "receivers_per_site": 50, "n_packets": 10,
+            "interval": 0.05, "receiver_loss": 0.01, "shared_loss": 0.01}
+
+
+def scenario_scale_fig7_aggregate(tier: str, engine: str) -> dict:
+    """Figure 7's world at 10^5 receivers: burst + steady train, aggregated.
+
+    The same shape as ``fig7_nack_reduction`` — a tail-circuit outage
+    costs one site part of the train, site loggers collapse the NACKs,
+    the hub unicasts repairs — but each site's receiver population is a
+    single aggregate node drawing Binomial loss counts.  Single worker:
+    this scenario prices the aggregate model itself.
+    """
+    _require_fast("scale_fig7_aggregate", engine)
+    p = _scale_fig7_params(tier)
+    spec = ScaleSpec(
+        n_sites=p["n_sites"],
+        receivers_per_site=p["receivers_per_site"],
+        receiver_loss=p["receiver_loss"],
+        shared_loss=p["shared_loss"],
+        seed=1995,
+    )
+    scenario = ScaleScenario(
+        spec=spec,
+        n_packets=p["n_packets"],
+        interval=p["interval"],
+        warmup=0.2,
+        drain=3.0,
+        bursts=((0.2 + 2 * p["interval"], 1, 0.1),),
+    )
+    report = run_sharded(scenario, n_shards=1, inline=True)
+    return _scale_run_dict(report, p)
+
+
+def _scale_fig5_params(tier: str) -> dict:
+    if tier == "scale":
+        # 500 sites x 2000 modeled receivers = 10^6 receivers, 4 workers.
+        return {"n_sites": 500, "receivers_per_site": 2000, "n_packets": 10,
+                "interval": 0.5, "receiver_loss": 0.001, "n_shards": 4}
+    return {"n_sites": 8, "receivers_per_site": 100, "n_packets": 4,
+            "interval": 0.5, "receiver_loss": 0.005, "n_shards": 2}
+
+
+def scenario_scale_fig5_sharded(tier: str, engine: str) -> dict:
+    """Figure 5's regime at 10^6 receivers, sharded across workers.
+
+    Sparse traffic with long gaps, so the variable-heartbeat schedule
+    (the paper's Figure 5 subject) dominates the event stream.  Sites
+    are partitioned across ``n_shards`` worker processes with
+    conservative time-window barriers — this scenario prices the
+    sharded runner end to end (fork, barriers, merge).
+    """
+    _require_fast("scale_fig5_sharded", engine)
+    p = _scale_fig5_params(tier)
+    spec = ScaleSpec(
+        n_sites=p["n_sites"],
+        receivers_per_site=p["receivers_per_site"],
+        receiver_loss=p["receiver_loss"],
+        seed=5,
+    )
+    scenario = ScaleScenario(
+        spec=spec,
+        n_packets=p["n_packets"],
+        interval=p["interval"],
+        warmup=0.2,
+        drain=3.0,
+    )
+    report = run_sharded(scenario, n_shards=p["n_shards"])
+    return _scale_run_dict(report, p)
+
+
+def _scale_run_dict(report, params: dict) -> dict:
+    from repro.scale.shard import protocol_digest
+
+    rss = report.peak_rss_kb
+    peak = rss["max"] if isinstance(rss, dict) else rss
+    totals = report.totals
+    return {
+        "wall_s": report.wall_s,
+        "events": report.sim_events,
+        "events_per_sec": report.sim_events / report.wall_s,
+        "sim_events": report.sim_events,
+        "peak_queue_depth": 0,  # per-worker gauges are not merged
+        "peak_rss_kb": peak,
+        "peak_rss_kb_detail": rss,
+        "n_shards": report.n_shards,
+        "modeled_population": report.population["modeled_population"],
+        "hosts": report.population["hosts"],
+        "checks": {
+            "protocol_digest": protocol_digest(report),
+            "sender_seq": report.hub["sender_seq"],
+            "wan_nacks": report.hub["primary"]["nacks_received"],
+            "modeled_losses": totals.get("modeled_losses", 0),
+            "modeled_recoveries": totals.get("modeled_recoveries", 0),
+            "modeled_recovery_failures": totals.get("modeled_recovery_failures", 0),
+            "outstanding": totals.get("outstanding", 0),
+        },
+        "params": params,
+    }
+
+
+SCALE_SCENARIOS = {
+    "scale_fig7_aggregate": scenario_scale_fig7_aggregate,
+    "scale_fig5_sharded": scenario_scale_fig5_sharded,
+}
+
+ALL_SCENARIOS = {**SCENARIOS, **SCALE_SCENARIOS}
+
+
 # -- running & reporting -----------------------------------------------------
 
 
 def run_scenario(name: str, tier: str = "quick", engine: str = "fast") -> dict:
     """Run one (scenario, engine) pair and return its metrics dict."""
     try:
-        fn = SCENARIOS[name]
+        fn = ALL_SCENARIOS[name]
     except KeyError:
-        raise ValueError(f"unknown scenario {name!r}; have {sorted(SCENARIOS)}") from None
+        raise ValueError(
+            f"unknown scenario {name!r}; have {sorted(ALL_SCENARIOS)}"
+        ) from None
     return fn(tier, engine)
 
 

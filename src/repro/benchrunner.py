@@ -108,6 +108,7 @@ def check_results(
     results: list[dict],
     baseline_dir: pathlib.Path | str,
     tolerance: float = 0.15,
+    expect_complete: bool = True,
 ) -> list[str]:
     """Compare fresh bench results against committed baselines.
 
@@ -117,9 +118,26 @@ def check_results(
     baseline's.  Returns a list of human-readable failures (empty ⇒
     gate passes).  Pure function — no I/O besides reading baselines — so
     the gate itself is unit-testable.
+
+    With ``expect_complete`` (the default for unfiltered runs), a
+    baseline file for a scenario the run did not produce is itself a
+    failure: a retired or renamed scenario must take its baseline with
+    it, otherwise the stale file silently passes the gate forever.
+    Pass ``expect_complete=False`` when the run was filtered
+    (``--only``), where missing scenarios are expected.
     """
     baseline_dir = pathlib.Path(baseline_dir)
     failures: list[str] = []
+    if expect_complete:
+        measured = {result["scenario"] for result in results}
+        for path in sorted(baseline_dir.glob("BENCH_*.json")):
+            stale = path.stem[len("BENCH_"):]
+            if stale not in measured:
+                failures.append(
+                    f"{stale}: baseline {path.name} exists but the run produced no "
+                    f"such scenario — delete the stale baseline (or rerun without "
+                    f"--only if the scenario still exists)"
+                )
     for result in results:
         name = result["scenario"]
         path = baseline_dir / f"BENCH_{name}.json"
@@ -166,6 +184,9 @@ def build_bench_parser(parser: argparse.ArgumentParser | None = None) -> argpars
                       help="small populations, one repeat (default)")
     tier.add_argument("--full", dest="tier", action="store_const", const="full",
                       help="paper-scale populations, best of three repeats")
+    tier.add_argument("--scale", dest="tier", action="store_const", const="scale",
+                      help="aggregate-scale scenarios (10^5-10^6 modeled "
+                           "receivers via repro.scale); fast engine only")
     parser.set_defaults(tier="quick")
     parser.add_argument("--only", metavar="NAME[,NAME...]", default=None,
                         help="run only these scenarios (comma separated)")
@@ -202,15 +223,30 @@ def run_bench(args: argparse.Namespace) -> int:
         print(f"bench: {exc}", file=sys.stderr)
         return 1
 
-    names = list(harness.SCENARIOS)
+    # The scale tier runs its own scenario set (aggregate-model runs the
+    # reference engine has no twin for); quick/full run the exact set.
+    if args.tier == "scale":
+        scenario_map = getattr(harness, "SCALE_SCENARIOS", {})
+        if not scenario_map:
+            print("bench: this harness defines no SCALE_SCENARIOS", file=sys.stderr)
+            return 1
+    else:
+        scenario_map = harness.SCENARIOS
+    names = list(scenario_map)
     if args.only:
         names = [n.strip() for n in args.only.split(",") if n.strip()]
-        unknown = [n for n in names if n not in harness.SCENARIOS]
+        unknown = [n for n in names if n not in scenario_map]
         if unknown:
             print(f"bench: unknown scenario(s) {unknown}; "
-                  f"have {sorted(harness.SCENARIOS)}", file=sys.stderr)
+                  f"have {sorted(scenario_map)}", file=sys.stderr)
             return 2
-    engines = ["fast", "reference"] if args.engine == "both" else [args.engine]
+    if args.tier == "scale":
+        if args.engine == "reference":
+            print("bench: scale scenarios run the fast engine only", file=sys.stderr)
+            return 2
+        engines = ["fast"]
+    else:
+        engines = ["fast", "reference"] if args.engine == "both" else [args.engine]
     out_dir = pathlib.Path(args.out) if args.out else harness.RESULTS_DIR
 
     if getattr(args, "profile", False):
@@ -268,7 +304,8 @@ def run_bench(args: argparse.Namespace) -> int:
     check_dir = getattr(args, "check", None)
     if check_dir:
         gate_failures = check_results(
-            results, check_dir, tolerance=getattr(args, "check_tolerance", 0.15)
+            results, check_dir, tolerance=getattr(args, "check_tolerance", 0.15),
+            expect_complete=not args.only,
         )
         for failure in gate_failures:
             print(f"bench --check: FAILED {failure}", file=sys.stderr)

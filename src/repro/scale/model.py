@@ -1,0 +1,219 @@
+"""Closed-form expectations for aggregate site behaviour.
+
+The analytic oracle the statistical-conformance tier pins the aggregate
+model against.  The setting follows "Asymptotic Analysis for Reliable
+Data Dissemination in Shared Loss Multicast Trees" (PAPERS.md): a site
+of ``n`` receivers behind one shared tail circuit, where a packet is
+lost for the *whole* site with probability ``q`` (shared tree-link
+loss) and, independently, for each receiver with probability ``p``
+(receiver-link loss).
+
+Per multicast transmission:
+
+* the number of receivers missing it is ``n`` with probability ``q``
+  and otherwise Binomial(n, p) — mean ``n(q + (1-q)p)``;
+* the site emits a (collapsed) NACK iff at least one receiver missed
+  it: probability ``q + (1-q)(1 - (1-p)^n)`` — with distributed
+  logging that is exactly one WAN NACK per site per loss event, versus
+  one per *receiver* under centralized recovery (Figure 7's claim);
+* recovery proceeds in rounds: each round's repair reaches each
+  still-missing receiver independently with probability ``1-p``, so
+  the expected number of rounds until the whole site holds the packet
+  is ``E[R] = Σ_{r≥1} (1 - (1 - p^r)^n)`` — which grows like
+  ``log_{1/p} n``: the shared-loss-tree asymptote the aggregate model
+  must track as ``n`` grows.
+
+Everything here is pure ``math`` — no simulator, no RNG — so these
+functions double as the reference implementation for the analysis
+test suite (the conformance tier is only as trustworthy as its
+oracle).
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = [
+    "expected_miss_count",
+    "miss_count_variance",
+    "site_nack_probability",
+    "expected_wan_nacks",
+    "expected_recovery_rounds",
+    "recovery_rounds_asymptote",
+    "expected_repair_packets",
+]
+
+# Euler–Mascheroni constant, used by the rounds asymptote.
+_EULER_GAMMA = 0.5772156649015329
+
+
+def _check_probability(name: str, value: float) -> None:
+    if not 0.0 <= value <= 1.0:
+        raise ValueError(f"{name} must be in [0, 1], got {value}")
+
+
+def _check_population(n: int) -> None:
+    if n < 0:
+        raise ValueError(f"site population must be >= 0, got {n}")
+
+
+def expected_miss_count(n: int, p: float, shared: float = 0.0) -> float:
+    """Expected receivers (of ``n``) missing one transmission.
+
+    ``p`` is the independent per-receiver loss probability, ``shared``
+    the probability the shared path loses the packet for everyone.
+    Zero receivers miss zero packets regardless of loss rates.
+    """
+    _check_population(n)
+    _check_probability("p", p)
+    _check_probability("shared", shared)
+    return n * (shared + (1.0 - shared) * p)
+
+
+def miss_count_variance(n: int, p: float, shared: float = 0.0) -> float:
+    """Variance of the per-transmission miss count.
+
+    Without shared loss this is the Binomial variance ``np(1-p)``; the
+    shared component adds the all-or-nothing spread between ``n`` and
+    the binomial mean (law of total variance).
+    """
+    _check_population(n)
+    _check_probability("p", p)
+    _check_probability("shared", shared)
+    binom_mean = n * p
+    binom_var = n * p * (1.0 - p)
+    q = shared
+    mean = q * n + (1.0 - q) * binom_mean
+    second = q * (n * n) + (1.0 - q) * (binom_var + binom_mean * binom_mean)
+    return second - mean * mean
+
+
+def site_nack_probability(n: int, p: float, shared: float = 0.0) -> float:
+    """P(at least one of ``n`` receivers misses a given transmission).
+
+    With a site logger collapsing requests, this is the probability the
+    site emits *any* NACK for the packet.  Uses ``expm1``/``log1p`` so
+    large ``n`` with small ``p`` stays accurate (1e6 receivers at
+    p = 1e-7 must not round to zero).
+    """
+    _check_population(n)
+    _check_probability("p", p)
+    _check_probability("shared", shared)
+    if n == 0:
+        return 0.0
+    if p >= 1.0:
+        p_any_local = 1.0
+    elif p <= 0.0:
+        p_any_local = 0.0
+    else:
+        # 1 - (1-p)^n computed as -expm1(n * log1p(-p)).
+        p_any_local = -math.expm1(n * math.log1p(-p))
+    return shared + (1.0 - shared) * p_any_local
+
+
+def expected_wan_nacks(n_sites: int, n_per_site: int, p: float, shared: float = 0.0,
+                       distributed: bool = True) -> float:
+    """Expected WAN-crossing NACKs per transmission.
+
+    Distributed logging (the paper's scheme) sends at most one upstream
+    request per site; centralized recovery sends one per missing
+    receiver — the gap Figure 7 measures, restated at any scale.
+    """
+    if n_sites < 0:
+        raise ValueError(f"n_sites must be >= 0, got {n_sites}")
+    if distributed:
+        return n_sites * site_nack_probability(n_per_site, p, shared)
+    return n_sites * expected_miss_count(n_per_site, p, shared)
+
+
+def expected_recovery_rounds(n: int, p: float, max_rounds: int = 100_000,
+                             tol: float = 1e-12) -> float:
+    """E[rounds] until all of ``n`` initially-missing receivers recover.
+
+    Each round the repair reaches each still-missing receiver
+    independently with probability ``1 - p``, so
+    ``E[R] = Σ_{r≥0} P(R > r) = 1 + Σ_{r≥1} (1 - (1 - p^r)^n)``
+    (the r = 0 term is always 1: at least one round is needed whenever
+    anyone is missing).  The tail is truncated once terms fall below
+    ``tol``.
+
+    Edge cases: ``n = 0`` needs no rounds; ``p = 0`` recovers everyone
+    in exactly one round; ``p = 1`` never recovers (``inf``).
+    """
+    _check_population(n)
+    _check_probability("p", p)
+    if n == 0:
+        return 0.0
+    if p <= 0.0:
+        return 1.0
+    if p >= 1.0:
+        return math.inf
+    total = 1.0
+    for r in range(1, max_rounds + 1):
+        # 1 - (1 - p^r)^n, stable for tiny p^r via expm1/log1p.
+        term = -math.expm1(n * math.log1p(-(p ** r)))
+        total += term
+        if term < tol:
+            break
+    return total
+
+
+def recovery_rounds_asymptote(n: int, p: float) -> float:
+    """Large-``n`` asymptote of :func:`expected_recovery_rounds`.
+
+    The maximum of ``n`` i.i.d. Geometric(1-p) round counts grows like
+    ``log_{1/p} n + γ/ln(1/p) + 1/2`` — the shared-loss-tree growth law
+    the conformance tier checks the aggregate model against.
+    """
+    _check_population(n)
+    _check_probability("p", p)
+    if n == 0:
+        return 0.0
+    if p <= 0.0:
+        return 1.0
+    if p >= 1.0:
+        return math.inf
+    ln_inv_p = -math.log(p)
+    return math.log(n) / ln_inv_p + _EULER_GAMMA / ln_inv_p + 0.5
+
+
+def expected_repair_packets(n: int, p: float, remulticast_threshold: int) -> float:
+    """Expected repair transmissions serving one site's first round.
+
+    With ``k`` receivers missing a packet, the site logger answers with
+    ``k`` unicasts when ``k`` is below the re-multicast threshold and a
+    single site-scoped multicast otherwise (§2.2.1).  Summing over the
+    Binomial(n, p) distribution of ``k`` gives the expectation the
+    aggregate model's modeled-repair counters should match.
+    """
+    _check_population(n)
+    _check_probability("p", p)
+    if remulticast_threshold < 1:
+        raise ValueError(f"remulticast_threshold must be >= 1, got {remulticast_threshold}")
+    if n == 0 or p <= 0.0:
+        return 0.0
+    if p >= 1.0:
+        return float(n) if n < remulticast_threshold else 1.0
+    total = 0.0
+    # Binomial pmf by recurrence; n is a *site* population, so the loop
+    # is at most a few thousand iterations even at million-receiver
+    # deployments (1e6 receivers = 1e3 sites of 1e3).
+    pmf = (1.0 - p) ** n
+    for k in range(0, n + 1):
+        if k >= remulticast_threshold:
+            total += 1.0 - _binom_cdf_below(n, p, remulticast_threshold)
+            break
+        if k > 0:
+            total += k * pmf
+        pmf *= (n - k) / (k + 1) * (p / (1.0 - p))
+    return total
+
+
+def _binom_cdf_below(n: int, p: float, k_limit: int) -> float:
+    """P(K < k_limit) for K ~ Binomial(n, p)."""
+    pmf = (1.0 - p) ** n
+    cdf = 0.0
+    for k in range(0, min(k_limit, n + 1)):
+        cdf += pmf
+        pmf *= (n - k) / (k + 1) * (p / (1.0 - p))
+    return min(cdf, 1.0)

@@ -84,12 +84,20 @@ class PacketChaosHook(Protocol):
 
 @dataclass
 class Host:
-    """A simulated host: a name, a site, and an attached endpoint."""
+    """A simulated host: a name, a site, and an attached endpoint.
+
+    ``represents`` is the modeled population multiplicity: an aggregate
+    host (:mod:`repro.scale`) stands in for that many real receivers,
+    while ordinary hosts represent exactly themselves.  The network's
+    routing treats every host identically — multiplicity only affects
+    population accounting (:meth:`Network.modeled_stats`).
+    """
 
     name: str
     site: "Site"
     inbound_loss: LossModel | None = None
     endpoint: Endpoint | None = None
+    represents: int = 1
 
     rx_packets: int = 0
     rx_dropped: int = 0
@@ -232,11 +240,23 @@ class Network:
         self._sites[name] = site
         return site
 
-    def add_host(self, name: str, site: Site, inbound_loss: LossModel | None = None) -> Host:
-        """Create a host on ``site``'s LAN."""
+    def add_host(
+        self,
+        name: str,
+        site: Site,
+        inbound_loss: LossModel | None = None,
+        represents: int = 1,
+    ) -> Host:
+        """Create a host on ``site``'s LAN.
+
+        ``represents`` > 1 marks an aggregate host standing in for that
+        many modeled receivers (see :class:`Host`).
+        """
         if name in self._hosts:
             raise ValueError(f"host {name!r} already exists")
-        host = Host(name=name, site=site, inbound_loss=inbound_loss)
+        if represents < 1:
+            raise ValueError(f"represents must be >= 1, got {represents}")
+        host = Host(name=name, site=site, inbound_loss=inbound_loss, represents=represents)
         site.hosts.append(host)
         self._hosts[name] = host
         # A host may be created under a name that already joined a group
@@ -260,6 +280,26 @@ class Network:
     @property
     def hosts(self) -> list[Host]:
         return list(self._hosts.values())
+
+    def modeled_stats(self) -> dict:
+        """Population accounting with host multiplicity applied.
+
+        ``hosts`` counts simulated nodes; ``modeled_population`` counts
+        the receivers they stand for (aggregate hosts contribute their
+        ``represents``).  ``per_site`` maps site name to its modeled
+        population — the denominator scale experiments report
+        receivers-per-second against.
+        """
+        per_site: dict[str, int] = {}
+        total = 0
+        for host in self._hosts.values():
+            per_site[host.site.name] = per_site.get(host.site.name, 0) + host.represents
+            total += host.represents
+        return {
+            "hosts": len(self._hosts),
+            "modeled_population": total,
+            "per_site": per_site,
+        }
 
     # -- group membership ----------------------------------------------------
 

@@ -1,0 +1,67 @@
+"""Edge cases for the Table 2 estimator-accuracy closed forms.
+
+The published-number checks live in test_heartbeat_math.py; these pin
+the degenerate corners (zero loggers, certain ACKs, invalid
+probabilities) that the analysis report code paths can reach.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.analysis.estimation_math import (
+    nsl_stddev,
+    nsl_stddev_after_probes,
+    table2_rows,
+)
+
+
+class TestNslStddev:
+    def test_zero_loggers_zero_spread(self):
+        assert nsl_stddev(0, 0.5) == 0.0
+
+    def test_certain_ack_zero_spread(self):
+        # p_ack = 1: every logger replies, the estimate is exact.
+        assert nsl_stddev(1000, 1.0) == 0.0
+
+    def test_table2_single_probe_value(self):
+        # N=1000, p=0.5: sigma_1 = sqrt(N(1-p)/p) = sqrt(1000).
+        assert nsl_stddev(1000, 0.5) == pytest.approx(math.sqrt(1000.0))
+
+    def test_spread_grows_as_ack_probability_falls(self):
+        assert nsl_stddev(500, 0.1) > nsl_stddev(500, 0.5) > nsl_stddev(500, 0.9)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            nsl_stddev(100, 0.0)  # p -> 0: estimator undefined
+        with pytest.raises(ValueError):
+            nsl_stddev(100, -0.2)
+        with pytest.raises(ValueError):
+            nsl_stddev(100, 1.5)
+        with pytest.raises(ValueError):
+            nsl_stddev(-1, 0.5)
+
+
+class TestNslStddevAfterProbes:
+    def test_one_probe_is_sigma_one(self):
+        assert nsl_stddev_after_probes(1000, 0.5, 1) == nsl_stddev(1000, 0.5)
+
+    def test_four_probes_halve_the_spread(self):
+        assert nsl_stddev_after_probes(1000, 0.5, 4) == pytest.approx(
+            nsl_stddev(1000, 0.5) / 2.0
+        )
+
+    def test_matches_table2_reduction_factors(self):
+        sigma_1 = nsl_stddev(1000, 0.5)
+        for probes, factor in table2_rows():
+            assert nsl_stddev_after_probes(1000, 0.5, probes) == pytest.approx(
+                sigma_1 * factor
+            )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            nsl_stddev_after_probes(1000, 0.5, 0)
+        with pytest.raises(ValueError):
+            nsl_stddev_after_probes(1000, 0.5, -3)

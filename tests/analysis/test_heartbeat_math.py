@@ -70,6 +70,34 @@ class TestValidation:
             variable_heartbeat_count(-1.0)
 
 
+class TestEdgeCases:
+    def test_beat_landing_on_data_packet_is_preempted(self):
+        # dt an exact multiple of the interval: the beat that would
+        # coincide with the next data packet is never sent.
+        assert fixed_heartbeat_count(1.0, 0.25) == 3
+
+    def test_dt_exactly_h_min_emits_nothing(self):
+        cfg = HeartbeatConfig()
+        assert fixed_heartbeat_count(cfg.h_min, cfg.h_min) == 0
+        assert variable_heartbeat_count(cfg.h_min, cfg) == 0
+        assert fixed_rate(cfg.h_min, cfg.h_min) == 0.0
+        assert variable_rate(cfg.h_min, cfg) == 0.0
+
+    def test_ratio_is_one_when_neither_scheme_emits(self):
+        cfg = HeartbeatConfig()
+        assert overhead_ratio(cfg.h_min, cfg) == 1.0
+
+    def test_backoff_one_degenerates_to_fixed_scheme(self):
+        # backoff=1 never widens the interval, so both schemes emit the
+        # same beats and the Figure 5 ratio collapses to 1.
+        cfg = HeartbeatConfig(backoff=1.0)
+        for dt in (0.3, 1.0, 10.0):
+            assert variable_heartbeat_count(dt, cfg) == fixed_heartbeat_count(
+                dt, cfg.h_min
+            )
+            assert overhead_ratio(dt, cfg) == pytest.approx(1.0)
+
+
 class TestLossDetection:
     def test_isolated_loss_within_h_min(self):
         cfg = HeartbeatConfig()

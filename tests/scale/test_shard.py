@@ -1,0 +1,111 @@
+"""Determinism and failure-handling of the sharded scale runner.
+
+The sharding contract: protocol-visible outputs are a pure function of
+(scenario, seed) — independent of shard count and of whether shards run
+inline or as real processes — and a dead worker surfaces as a clean
+:class:`ShardWorkerError`, never a hang.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import LbrmConfig
+from repro.scale.deploy import ScaleSpec
+from repro.scale.shard import (
+    ScaleScenario,
+    ShardWorkerError,
+    _shard_sites,
+    protocol_digest,
+    run_sharded,
+    trace_bytes,
+)
+
+
+def _scenario(seed: int = 7, n_sites: int = 6, **kwargs) -> ScaleScenario:
+    spec = ScaleSpec(
+        n_sites=n_sites,
+        receivers_per_site=30,
+        receiver_loss=0.02,
+        shared_loss=0.01,
+        seed=seed,
+        config=LbrmConfig(),
+    )
+    return ScaleScenario(
+        spec=spec,
+        n_packets=8,
+        interval=0.05,
+        warmup=0.2,
+        drain=2.0,
+        bursts=((0.3, 2, 0.08),),
+        **kwargs,
+    )
+
+
+class TestShardSites:
+    def test_round_robin_partitions_every_site_exactly_once(self):
+        for n_shards in (1, 2, 3, 5):
+            shards = [_shard_sites(10, s, n_shards) for s in range(n_shards)]
+            merged = sorted(i for shard in shards for i in shard)
+            assert merged == list(range(1, 11))
+
+    def test_single_shard_owns_everything(self):
+        assert _shard_sites(4, 0, 1) == (1, 2, 3, 4)
+
+
+class TestShardCountInvariance:
+    def test_one_vs_four_shards_inline(self):
+        one = run_sharded(_scenario(), n_shards=1, inline=True)
+        four = run_sharded(_scenario(), n_shards=4, inline=True)
+        assert protocol_digest(one) == protocol_digest(four)
+        assert one.trace == four.trace
+        assert one.totals == four.totals
+        assert one.hub == four.hub
+        assert one.population == four.population
+
+    def test_multiprocessing_matches_inline(self):
+        inline = run_sharded(_scenario(), n_shards=1, inline=True)
+        sharded = run_sharded(_scenario(), n_shards=3, timeout=60.0)
+        assert protocol_digest(sharded) == protocol_digest(inline)
+
+    def test_different_seeds_differ(self):
+        a = run_sharded(_scenario(seed=7), n_shards=1, inline=True)
+        b = run_sharded(_scenario(seed=8), n_shards=1, inline=True)
+        assert protocol_digest(a) != protocol_digest(b)
+
+    def test_population_accounting_deduplicates_replicated_hub(self):
+        report = run_sharded(_scenario(), n_shards=2, inline=True)
+        # 6 sites x (logger + aggregate) + source + primary; the logger
+        # hosts model one node each, the aggregates 30.
+        assert report.population["hosts"] == 6 * 2 + 2
+        assert report.population["modeled_population"] == 6 * (30 + 1) + 2
+
+
+class TestDeterminism:
+    def test_same_seed_same_shards_byte_identical_trace(self):
+        a = run_sharded(_scenario(), n_shards=2, timeout=60.0)
+        b = run_sharded(_scenario(), n_shards=2, timeout=60.0)
+        assert trace_bytes(a) == trace_bytes(b)
+        assert protocol_digest(a) == protocol_digest(b)
+
+    def test_trace_is_time_ordered(self):
+        report = run_sharded(_scenario(), n_shards=2, inline=True)
+        times = [event[0] for event in report.trace]
+        assert times == sorted(times)
+        assert report.trace, "burst + loss rates should generate events"
+
+
+class TestWorkerFailure:
+    def test_crashed_worker_raises_instead_of_hanging(self):
+        scenario = _scenario(debug_crash_shard=1)
+        with pytest.raises(ShardWorkerError) as excinfo:
+            run_sharded(scenario, n_shards=2, timeout=30.0)
+        assert "exited" in str(excinfo.value)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            run_sharded(_scenario(), n_shards=0)
+        with pytest.raises(ValueError):
+            run_sharded(_scenario(n_sites=3), n_shards=4)
+        with pytest.raises(ValueError):
+            run_sharded(_scenario(), n_shards=1, inline=True, window=0.0)

@@ -74,6 +74,28 @@ class TestCheckResults:
         assert len(failures) == 1
         assert failures[0].startswith("a:")
 
+    def test_stale_baseline_for_retired_scenario_fails_loudly(self, tmp_path):
+        # A baseline whose scenario no longer runs must not silently
+        # pass the gate forever — that is how retired-but-regressed
+        # scenarios hide.
+        _write_baseline(tmp_path, _result("fig7", 100_000.0))
+        _write_baseline(tmp_path, _result("retired_scenario", 100_000.0))
+        failures = check_results(
+            [_result("fig7", 100_000.0)], tmp_path, expect_complete=True
+        )
+        assert len(failures) == 1
+        assert "retired_scenario" in failures[0]
+        assert "stale baseline" in failures[0]
+
+    def test_partial_run_skips_the_stale_baseline_check(self, tmp_path):
+        # `--only` runs a subset on purpose; unexercised baselines are
+        # expected then, not stale.
+        _write_baseline(tmp_path, _result("fig7", 100_000.0))
+        _write_baseline(tmp_path, _result("other", 100_000.0))
+        assert check_results(
+            [_result("fig7", 100_000.0)], tmp_path, expect_complete=False
+        ) == []
+
 
 class TestBenchParser:
     def test_check_and_profile_flags_parse(self):
