@@ -51,8 +51,10 @@ from repro.simnet.engine import ReferenceSimulator, Simulator
 __all__ = [
     "SCENARIOS",
     "SCALE_SCENARIOS",
+    "AIO_SCENARIOS",
     "ALL_SCENARIOS",
     "ENGINES",
+    "aio_available",
     "run_scenario",
     "write_result",
     "main",
@@ -428,7 +430,68 @@ SCALE_SCENARIOS = {
     "scale_fig5_sharded": scenario_scale_fig5_sharded,
 }
 
-ALL_SCENARIOS = {**SCENARIOS, **SCALE_SCENARIOS}
+
+# -- aio scenarios ------------------------------------------------------------
+#
+# The ``--aio`` tier measures the *live* transport (repro.aio) over real
+# loopback sockets, with the same fast/reference convention as the
+# simulator tiers:
+#
+# * ``fast``      — TX bundling + zero-copy RX ring + ``decode_from`` +
+#                   struct codecs: the transport fast path.
+# * ``reference`` — the retained pre-fast-path configuration: asyncio
+#                   DatagramTransports (one bytes allocation + one
+#                   callback per datagram), copy-normalizing ``decode``,
+#                   legacy uncached codecs, one datagram per packet.
+#
+# Two scenarios: ``aio_cluster_throughput`` carries the identical
+# packet stream through a real AioCluster (sender + site logger +
+# primary + N receivers) and only counts if every receiver finishes
+# with the complete stream — protocol work (logging, ACK tracking,
+# ordering) is a large fixed cost in both engines, so its ratio is the
+# deployment-visible speedup.  ``aio_transport_blast`` isolates the
+# transport (sender fans the stream to N sink nodes over unicast), so
+# per-datagram cost dominates and its ratio is the transport-fast-path
+# speedup bundling targets.  Throughput is timing-dependent by nature,
+# so ``checks`` holds only deterministic workload facts (counts,
+# completeness) — never rates.
+
+
+def aio_available() -> bool:
+    """True when this environment can run the loopback tier at all."""
+    from repro.aio.bench import aio_available as _available
+
+    return _available()
+
+
+def scenario_aio_cluster_throughput(tier: str, engine: str) -> dict:
+    """Full LBRM cluster end to end: fast path vs pre-fast-path baseline."""
+    from repro.aio.bench import run_loopback
+
+    fast = engine == "fast"
+    with _EngineMode(engine):
+        return run_loopback(
+            bundling=fast, tier=tier, legacy_transports=not fast, scenario="cluster"
+        )
+
+
+def scenario_aio_transport_blast(tier: str, engine: str) -> dict:
+    """Transport-isolated fan-out: per-datagram costs dominate the ratio."""
+    from repro.aio.bench import run_loopback
+
+    fast = engine == "fast"
+    with _EngineMode(engine):
+        return run_loopback(
+            bundling=fast, tier=tier, legacy_transports=not fast, scenario="blast"
+        )
+
+
+AIO_SCENARIOS = {
+    "aio_cluster_throughput": scenario_aio_cluster_throughput,
+    "aio_transport_blast": scenario_aio_transport_blast,
+}
+
+ALL_SCENARIOS = {**SCENARIOS, **SCALE_SCENARIOS, **AIO_SCENARIOS}
 
 
 # -- running & reporting -----------------------------------------------------

@@ -57,11 +57,24 @@ class AioCluster:
         retrans_channel: RetransChannelConfig | None = None,
         directory: GroupDirectory | None = None,
         interface: str = "127.0.0.1",
+        bundling: bool = False,
+        max_bundle_bytes: int = 1400,
+        max_bundle_delay: float = 0.0,
+        legacy_transports: bool = False,
     ) -> None:
         self.group = group
         self.config = config or LbrmConfig()
         self.directory = directory or GroupDirectory()
         self._interface = interface
+        # Transport fast-path knobs, applied uniformly to every node in
+        # the cluster (see AioNode: with bundling off the wire format is
+        # byte-identical to previous releases).
+        self._node_kwargs = {
+            "bundling": bundling,
+            "max_bundle_bytes": max_bundle_bytes,
+            "max_bundle_delay": max_bundle_delay,
+            "legacy_transports": legacy_transports,
+        }
         self._n_receivers = n_receivers
         self._n_replicas = n_replicas
         self._n_secondaries = n_secondaries
@@ -93,7 +106,7 @@ class AioCluster:
 
         # Replicas first: the primary needs their addresses.
         for i in range(self._n_replicas):
-            node = AioNode(directory=self.directory, interface=self._interface)
+            node = AioNode(directory=self.directory, interface=self._interface, **self._node_kwargs)
             await node.start()
             replica = LogServer(
                 self.group, addr_token=node.token, config=self.config,
@@ -104,7 +117,7 @@ class AioCluster:
             self.replicas.append(replica)
             self.replica_nodes.append(node)
 
-        self.primary_node = AioNode(directory=self.directory, interface=self._interface)
+        self.primary_node = AioNode(directory=self.directory, interface=self._interface, **self._node_kwargs)
         await self.primary_node.start()
         self.primary = LogServer(
             self.group, addr_token=self.primary_node.token, config=self.config,
@@ -118,7 +131,7 @@ class AioCluster:
         # serves nearby receivers; its parent (escalation target) is the
         # primary's unicast address.
         for i in range(self._n_secondaries):
-            node = AioNode(directory=self.directory, interface=self._interface)
+            node = AioNode(directory=self.directory, interface=self._interface, **self._node_kwargs)
             await node.start()
             secondary = LogServer(
                 self.group, addr_token=node.token, config=self.config,
@@ -130,7 +143,7 @@ class AioCluster:
             self.secondaries.append(secondary)
             self.secondary_nodes.append(node)
 
-        self.sender_node = AioNode(directory=self.directory, interface=self._interface)
+        self.sender_node = AioNode(directory=self.directory, interface=self._interface, **self._node_kwargs)
         await self.sender_node.start()
         self.sender = LbrmSender(
             self.group, self.config,
@@ -152,7 +165,7 @@ class AioCluster:
             secondary.set_source(self.sender_node.address)
 
         for i in range(self._n_receivers):
-            node = AioNode(directory=self.directory, interface=self._interface)
+            node = AioNode(directory=self.directory, interface=self._interface, **self._node_kwargs)
             await node.start()
             receiver = LbrmReceiver(
                 self.group, self.config.receiver,
@@ -212,6 +225,16 @@ class AioCluster:
         """Multicast application data; returns the sequence number."""
         assert self.sender is not None and self.sender_node is not None
         await self.sender_node.send(self.sender, payload)
+        return self.sender.seq
+
+    async def publish_burst(self, payloads) -> int:
+        """Multicast a burst of payloads in one event-loop tick.
+
+        Returns the last sequence number.  With ``bundling=True`` the
+        burst leaves the sender coalesced into MTU-sized bundles.
+        """
+        assert self.sender is not None and self.sender_node is not None
+        await self.sender_node.send_many(self.sender, payloads)
         return self.sender.seq
 
     async def deliveries(self, receiver_index: int, count: int, timeout: float = 3.0):

@@ -67,6 +67,7 @@ async def _run_cluster(args: argparse.Namespace) -> dict:
         n_replicas=args.replicas,
         use_discovery=args.discovery,
         discovery=DiscoveryConfig(initial_ttl=1, query_timeout=0.3),
+        bundling=args.bundling,
     )
     started = time.monotonic()
     async with cluster:
@@ -90,6 +91,11 @@ async def _run_cluster(args: argparse.Namespace) -> dict:
             "secondaries": args.secondaries,
             "replicas": args.replicas,
             "discovery": args.discovery,
+            "bundling": args.bundling,
+            "tx_bundles": sum(n.stats["tx_bundles"] for n in cluster.nodes),
+            "tx_coalesced_packets": sum(
+                n.stats["tx_coalesced_packets"] for n in cluster.nodes
+            ),
             "violations": [v.to_dict() for v in violations],
             "invariants": ["delivery", "silence", "log-safety", "promotion"],
             "delivered": [
@@ -118,6 +124,10 @@ def build_smoke_parser(parser: argparse.ArgumentParser) -> None:
     )
     parser.add_argument(
         "--spacing", type=float, default=0.05, help="seconds between packets (default 0.05)"
+    )
+    parser.add_argument(
+        "--bundling", action="store_true",
+        help="coalesce outbound packets into bundle datagrams (transport fast path)",
     )
     parser.add_argument(
         "--out", default="AIO_SMOKE.json", help="JSON report path (default AIO_SMOKE.json)"

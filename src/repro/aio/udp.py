@@ -16,9 +16,44 @@ __all__ = [
     "make_multicast_recv_socket",
     "make_multicast_send_socket",
     "set_multicast_ttl",
+    "ReceiveRing",
+    "MAX_DATAGRAM",
 ]
 
 DEFAULT_INTERFACE = "127.0.0.1"
+
+# Largest UDP payload: receive buffers must hold it or recvfrom_into
+# silently truncates the datagram (which then reads as corruption).
+MAX_DATAGRAM = 65535
+
+
+class ReceiveRing:
+    """Preallocated receive buffers for the zero-copy datagram path.
+
+    ``recvfrom_into`` needs a writable buffer per datagram; allocating
+    one per receive would reintroduce exactly the per-packet churn the
+    fast path removes.  The ring hands out the same few buffers
+    round-robin — safe because the node's dispatch is synchronous (the
+    decoded packet copies out its variable-length tails, so nothing
+    references the buffer once dispatch returns), with a few spare slots
+    as headroom against any short-lived aliasing (e.g. a frame list from
+    an in-flight bundle).
+    """
+
+    __slots__ = ("_views", "_next")
+
+    def __init__(self, slots: int = 4, size: int = MAX_DATAGRAM) -> None:
+        if slots < 1:
+            raise ValueError("ReceiveRing needs at least one slot")
+        self._views = [memoryview(bytearray(size)) for _ in range(slots)]
+        self._next = 0
+
+    def acquire(self) -> memoryview:
+        """The next buffer in rotation (callers do not release)."""
+        views = self._views
+        view = views[self._next]
+        self._next = (self._next + 1) % len(views)
+        return view
 
 
 def make_unicast_socket(host: str = "127.0.0.1", port: int = 0) -> socket.socket:

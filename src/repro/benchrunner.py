@@ -187,6 +187,12 @@ def build_bench_parser(parser: argparse.ArgumentParser | None = None) -> argpars
     tier.add_argument("--scale", dest="tier", action="store_const", const="scale",
                       help="aggregate-scale scenarios (10^5-10^6 modeled "
                            "receivers via repro.scale); fast engine only")
+    tier.add_argument("--aio", dest="tier", action="store_const", const="aio",
+                      help="live-UDP loopback transport tier: bundled zero-copy "
+                           "fast path (fast) vs the pre-bundling transport "
+                           "baseline (reference) over real sockets; writes an "
+                           "explicit skipped artifact where sockets are "
+                           "unavailable")
     parser.set_defaults(tier="quick")
     parser.add_argument("--only", metavar="NAME[,NAME...]", default=None,
                         help="run only these scenarios (comma separated)")
@@ -224,12 +230,33 @@ def run_bench(args: argparse.Namespace) -> int:
         return 1
 
     # The scale tier runs its own scenario set (aggregate-model runs the
-    # reference engine has no twin for); quick/full run the exact set.
+    # reference engine has no twin for); the aio tier runs the live-UDP
+    # scenarios; quick/full run the exact set.
     if args.tier == "scale":
         scenario_map = getattr(harness, "SCALE_SCENARIOS", {})
         if not scenario_map:
             print("bench: this harness defines no SCALE_SCENARIOS", file=sys.stderr)
             return 1
+    elif args.tier == "aio":
+        scenario_map = getattr(harness, "AIO_SCENARIOS", {})
+        if not scenario_map:
+            print("bench: this harness defines no AIO_SCENARIOS", file=sys.stderr)
+            return 1
+        available = getattr(harness, "aio_available", None)
+        if available is not None and not available():
+            # "Cannot measure here" must be a visible artifact, not a
+            # silent green: CI uploads the skip record alongside real
+            # BENCH files, and the --check gate is not run.
+            out_dir = pathlib.Path(args.out) if args.out else harness.RESULTS_DIR
+            out_dir.mkdir(parents=True, exist_ok=True)
+            skip_path = out_dir / "BENCH_aio_skipped.json"
+            skip_path.write_text(json.dumps({
+                "status": "skipped",
+                "tier": "aio",
+                "reason": "UDP sockets unavailable in this environment",
+            }, indent=2, sort_keys=True) + "\n")
+            print(f"bench --aio: skipped (no UDP sockets); artifact: {skip_path}")
+            return 0
     else:
         scenario_map = harness.SCENARIOS
     names = list(scenario_map)

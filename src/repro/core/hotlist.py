@@ -41,22 +41,28 @@ class _History:
     def expected(self) -> float:
         return sum(p for p, _ in self.window)
 
-    @property
-    def variance(self) -> float:
-        return sum(p * (1.0 - p) for p, _ in self.window)
-
 
 class AckerHotlist:
     """Tracks volunteer behaviour and quarantines statistical outliers.
 
     A logger is flagged once it has volunteered at least ``min_responses``
-    times *and* its response count exceeds the binomial expectation by
-    more than ``z_threshold`` standard deviations.  With the default
-    window of 32 epochs and p_ack = 0.02, a correct logger volunteers
-    ~0.6 times while an always-acker hits 32 — a 10-20σ excursion — so a
-    6σ bar detects cheats within a dozen epochs while an honest logger's
-    false-positive odds stay negligible even across hundreds of
-    overlapping windows (each window's tail beyond 6σ is ~1e-6).
+    times *and* the upper-tail probability of its response count under
+    the offered probabilities is below the ``z_threshold``-sigma
+    equivalent.  The tail is evaluated with a Chernoff bound on the
+    Poisson-binomial distribution of the window,
+
+        ln P(X >= k)  <=  -lam + k * (1 + ln(lam / k)),   lam = sum(p_i)
+
+    flagged when that bound drops under ``-z_threshold**2 / 2`` (the
+    exponent a z-sigma normal excursion would have).  A plain z-score on
+    the normal approximation looks equivalent but is wrong exactly where
+    this detector lives: with a window of 32 epochs at p_ack = 0.03 the
+    expectation is ~1 response, and the Poisson tail at "6σ" (7
+    responses) is ~1e-4, not 1e-9 — honest loggers would be quarantined
+    within a few hundred epochs.  The exact-exponent bound keeps the
+    false-positive odds genuinely negligible across hundreds of
+    overlapping windows while an always-acker at p_ack = 0.05 (~2σ of
+    suspicion per epoch) is still caught in about nine epochs.
     """
 
     def __init__(self, z_threshold: float = 6.0, min_responses: int = 6) -> None:
@@ -107,10 +113,10 @@ class AckerHotlist:
         if responses < self._min_responses:
             return False
         expected = history.expected
-        variance = history.variance
-        if variance <= 0.0:
-            # Offers at p=0 or p=1 carry no randomness; any excess
-            # response over the deterministic expectation is a fault.
-            return responses > expected
-        z = (responses - expected) / math.sqrt(variance)
-        return z > self._z
+        if responses <= expected:
+            return False
+        if expected <= 0.0:
+            # Every offer was at p=0: any response at all is a fault.
+            return True
+        log_tail = -expected + responses * (1.0 + math.log(expected / responses))
+        return log_tail < -0.5 * self._z * self._z

@@ -58,6 +58,13 @@ __all__ = [
     "decode",
     "encode_uncached",
     "decode_uncached",
+    "decode_from",
+    "encode_bundle",
+    "iter_bundle",
+    "is_bundle",
+    "MAX_BUNDLE_FRAMES",
+    "BUNDLE_OVERHEAD",
+    "BUNDLE_FRAME_OVERHEAD",
     "register_packet",
     "codec_cache_stats",
     "clear_codec_caches",
@@ -356,7 +363,10 @@ def _compile_struct_codec(cls: Type[Packet]) -> None:
             end = fend + vals[-1]
             if len(data) != end:
                 raise DecodeError(f"bad {tname} payload length", data)
-            tailv = data[fend:end]
+            # bytes() materializes only the payload when ``data`` is a
+            # memoryview (the zero-copy decode_from path); on the bytes
+            # path the slice already is the copy and bytes() is identity.
+            tailv = bytes(data[fend:end])
             return cls(group, *[tailv if i < 0 else vals[i] for i in arg_src])
 
     elif tail_kind == "str":
@@ -382,7 +392,10 @@ def _compile_struct_codec(cls: Type[Packet]) -> None:
             if len(data) != end:
                 raise DecodeError(f"bad {tname} string length", data)
             try:
-                tailv = data[fend:end].decode("utf-8")
+                # str(buf, "utf-8") accepts memoryview slices directly
+                # (decode_from), with the same UnicodeDecodeError contract
+                # as bytes.decode on the plain-bytes path.
+                tailv = str(data[fend:end], "utf-8")
             except UnicodeDecodeError as exc:
                 raise DecodeError(f"{tname} string is not UTF-8: {exc}", data) from None
             return cls(group, *[tailv if i < 0 else vals[i] for i in arg_src])
@@ -916,36 +929,172 @@ def decode_uncached(data: bytes) -> Packet:
     input; transports should count and drop such datagrams rather than
     crash (errors should never pass silently, but a multicast socket is
     a public place).  ``bytearray``/``memoryview`` input is accepted and
-    normalized to ``bytes``.
+    normalized to ``bytes``; :func:`decode_from` is the entry point that
+    parses straight out of a caller-owned buffer without that copy.
     """
     if type(data) is not bytes:
         data = bytes(data)
+    return _decode_view(data)
+
+
+def decode_from(buf, offset: int = 0, length: int | None = None) -> Packet:
+    """Decode one packet straight out of ``buf[offset:offset+length]``.
+
+    Zero-copy entry point for transports that receive into preallocated
+    buffers (``recvfrom_into``) or walk bundled datagrams
+    (:func:`iter_bundle`): the header and fixed fields are parsed in
+    place via ``unpack_from`` and only variable-length tails (payload,
+    strings) are materialized into the returned packet object.  The
+    result is indistinguishable from ``decode_uncached(bytes(...))`` —
+    the buffer may be reused immediately after the call returns.
+    Bypasses the decode memo (a buffer slice has no hashable key without
+    the very copy this path exists to avoid).
+    """
+    view = memoryview(buf)
+    if offset or length is not None:
+        end = len(view) if length is None else offset + length
+        view = view[offset:end]
+    return _decode_view(view)
+
+
+# One-entry group-name memo for the RX hot path: a receive socket sees
+# the same group on (nearly) every packet, and memoryview == bytes is a
+# C-level compare — so a hit replaces the per-packet UTF-8 decode and
+# str allocation.  Deliberately a single entry: no hashing, no eviction,
+# and a miss costs one comparison.
+_LAST_GROUP_RAW: bytes = b"\xff"  # never equals valid UTF-8 group bytes
+_LAST_GROUP: str = ""
+
+
+def _decode_view(data) -> Packet:
+    """Shared datagram parse over any buffer (``bytes`` or memoryview)."""
+    global _LAST_GROUP_RAW, _LAST_GROUP
     n = len(data)
     if n < _HEADER.size:
-        raise DecodeError("datagram shorter than header", data)
+        raise DecodeError("datagram shorter than header", bytes(data))
     magic, version, ptype = _HEADER.unpack_from(data, 0)
     if magic != _MAGIC:
-        raise DecodeError(f"bad magic {magic!r}", data)
+        raise DecodeError(f"bad magic {magic!r}", bytes(data))
     if version != _VERSION:
-        raise DecodeError(f"unsupported version {version}", data)
+        raise DecodeError(f"unsupported version {version}", bytes(data))
     cls = _REGISTRY.get(ptype)
     if cls is None:
-        raise DecodeError(f"unknown packet type {ptype}", data)
+        raise DecodeError(f"unknown packet type {ptype}", bytes(data))
     # Both modes share the header/group parse (and its error behavior).
     if n < 5:
-        raise DecodeError("truncated string length", data)
+        raise DecodeError("truncated string length", bytes(data))
     end = 5 + data[4]
     if end > n:
-        raise DecodeError("truncated string body", data)
-    try:
-        group = data[5:end].decode("utf-8")
-    except UnicodeDecodeError as exc:
-        raise DecodeError(f"group is not UTF-8: {exc}", data) from None
+        raise DecodeError("truncated string body", bytes(data))
+    raw = data[5:end]
+    if raw == _LAST_GROUP_RAW:
+        group = _LAST_GROUP
+    else:
+        try:
+            group = str(raw, "utf-8")
+        except UnicodeDecodeError as exc:
+            raise DecodeError(f"group is not UTF-8: {exc}", bytes(data)) from None
+        _LAST_GROUP_RAW, _LAST_GROUP = bytes(raw), group
     if _CODEC_MODE == "struct":
         dec = _STRUCT_DECODERS.get(ptype)
         if dec is not None:
             return dec(data, end, group)
     return cls.decode_body(group, memoryview(data)[end:])
+
+
+# -- bundle framing -----------------------------------------------------------
+#
+# The aio transport coalesces many logical packets into one datagram to
+# amortize per-datagram cost (syscall, event-loop wakeup) — the modern
+# twin of DIS-era PDU bundling.  A bundle is a distinct wire object with
+# its own magic (``Lb``, never confusable with a packet's ``LB``)::
+#
+#     0      2      3       4
+#     +------+------+-------+--[ count frames ]-------------------
+#     | 'Lb' | ver  | count | u16 len | datagram | u16 len | ...
+#     +------+------+-------+-------------------------------------
+#
+# Each frame is one complete single-packet datagram, byte-identical to
+# what an unbundled send would have put on the wire — so a bundle is
+# pure framing, and turning bundling off changes nothing but the
+# grouping.  :func:`iter_bundle` returns zero-copy memoryview slices;
+# pair it with :func:`decode_from` to parse packets straight out of a
+# receive buffer.
+
+_BUNDLE_MAGIC = b"Lb"
+_BUNDLE_HEADER = struct.Struct("!2sBB")
+_BM0, _BM1 = _BUNDLE_MAGIC
+MAX_BUNDLE_FRAMES = 255
+BUNDLE_OVERHEAD = _BUNDLE_HEADER.size  # plus 2 bytes framing per packet
+BUNDLE_FRAME_OVERHEAD = 2
+
+
+def is_bundle(data) -> bool:
+    """True when ``data`` starts with the bundle magic.
+
+    Works on ``bytes``, ``bytearray``, and ``memoryview`` without
+    copying; a transport's receive path calls this once per datagram to
+    pick between :func:`decode_from` and :func:`iter_bundle`.
+    """
+    return len(data) >= 2 and data[0] == _BM0 and data[1] == _BM1
+
+
+def encode_bundle(wires) -> bytes:
+    """Frame already-encoded datagrams into one bundle datagram.
+
+    ``wires`` is a non-empty sequence of at most ``MAX_BUNDLE_FRAMES``
+    encoded packets (each ≤ 65535 bytes).  The caller owns the MTU
+    budget: this function frames whatever it is given.
+    """
+    count = len(wires)
+    if count == 0:
+        raise EncodeError("bundle must carry at least one datagram")
+    if count > MAX_BUNDLE_FRAMES:
+        raise EncodeError(f"bundle limited to {MAX_BUNDLE_FRAMES} datagrams")
+    parts = [_BUNDLE_HEADER.pack(_BUNDLE_MAGIC, _VERSION, count)]
+    for wire in wires:
+        n = len(wire)
+        if n > _MAX_PAYLOAD:
+            raise EncodeError(f"bundled datagram too large ({n} > {_MAX_PAYLOAD})")
+        parts.append(_U16.pack(n))
+        parts.append(wire)
+    return b"".join(parts)
+
+
+def iter_bundle(data) -> list:
+    """Split a bundle datagram into zero-copy per-packet memoryviews.
+
+    Validates the whole frame table eagerly — truncated or corrupt
+    input always raises :class:`~repro.core.errors.DecodeError` before
+    any slice is returned, so a partial bundle never half-dispatches.
+    The returned slices alias ``data``: decode them (or copy) before the
+    underlying receive buffer is reused.
+    """
+    view = memoryview(data)
+    n = len(view)
+    if n < _BUNDLE_HEADER.size:
+        raise DecodeError("bundle shorter than header", bytes(view))
+    magic, version, count = _BUNDLE_HEADER.unpack_from(view, 0)
+    if magic != _BUNDLE_MAGIC:
+        raise DecodeError(f"bad bundle magic {magic!r}", bytes(view))
+    if version != _VERSION:
+        raise DecodeError(f"unsupported bundle version {version}", bytes(view))
+    if count == 0:
+        raise DecodeError("empty bundle", bytes(view))
+    frames = []
+    off = _BUNDLE_HEADER.size
+    for _ in range(count):
+        if off + 2 > n:
+            raise DecodeError("truncated bundle frame length", bytes(view))
+        (flen,) = _U16.unpack_from(view, off)
+        off += 2
+        if off + flen > n:
+            raise DecodeError("truncated bundle frame body", bytes(view))
+        frames.append(view[off:off + flen])
+        off += flen
+    if off != n:
+        raise DecodeError("trailing garbage after bundle", bytes(view))
+    return frames
 
 
 class _CodecCache:

@@ -18,6 +18,7 @@ from repro.benchrunner import (
     check_results,
     default_harness_path,
     profile_scenario,
+    run_bench,
 )
 
 
@@ -108,6 +109,109 @@ class TestBenchParser:
         args = build_bench_parser().parse_args(["--profile", "--only", "fig7_nack_reduction"])
         assert args.profile is True
         assert args.check is None
+
+    def test_aio_tier_flag_parses_and_excludes_other_tiers(self):
+        args = build_bench_parser().parse_args(["--aio"])
+        assert args.tier == "aio"
+        with pytest.raises(SystemExit):
+            build_bench_parser().parse_args(["--aio", "--full"])
+
+
+# A minimal stand-in for benchmarks/harness.py: records which scenarios
+# ran so the tier-selection tests below stay fast and deterministic
+# (they must not open sockets or run the real transport tier).
+_FAKE_HARNESS = """
+import json, pathlib
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+SCENARIOS = {{"fig7": None}}
+AIO_SCENARIOS = {{"aio_cluster_throughput": None, "aio_transport_blast": None}}
+_CALLS = pathlib.Path(__file__).parent / "calls.jsonl"
+
+
+def aio_available():
+    return {available}
+
+
+def run_scenario(name, tier="quick", engine="fast"):
+    with _CALLS.open("a") as fh:
+        fh.write(json.dumps([name, tier, engine]) + "\\n")
+    return {{"events_per_sec": 100.0, "wall_s": 1.0}}
+
+
+def assemble_result(name, tier, runs):
+    return {{"scenario": name, "tier": tier, "engines": runs}}
+
+
+def write_result(result, out_dir):
+    out_dir = pathlib.Path(out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    path = out_dir / ("BENCH_" + result["scenario"] + ".json")
+    path.write_text(json.dumps(result))
+    return path
+"""
+
+
+def _write_fake_harness(tmp_path, available: bool):
+    path = tmp_path / "harness.py"
+    path.write_text(_FAKE_HARNESS.format(available=available))
+    return path
+
+
+def _calls(tmp_path) -> list:
+    calls_path = tmp_path / "calls.jsonl"
+    if not calls_path.exists():
+        return []
+    return [json.loads(line) for line in calls_path.read_text().splitlines()]
+
+
+class TestAioTier:
+    def test_aio_tier_runs_aio_scenarios_only(self, tmp_path):
+        harness = _write_fake_harness(tmp_path, available=True)
+        args = build_bench_parser().parse_args(
+            ["--aio", "--out", str(tmp_path / "out"), "--harness", str(harness)]
+        )
+        assert run_bench(args) == 0
+        ran = {name for name, _, _ in _calls(tmp_path)}
+        assert ran == {"aio_cluster_throughput", "aio_transport_blast"}
+        # Both engines measured: the tier's point is the fast/reference ratio.
+        engines = {engine for _, _, engine in _calls(tmp_path)}
+        assert engines == {"fast", "reference"}
+        for name in ran:
+            assert (tmp_path / "out" / f"BENCH_{name}.json").exists()
+
+    def test_skip_artifact_written_when_sockets_unavailable(self, tmp_path):
+        harness = _write_fake_harness(tmp_path, available=False)
+        args = build_bench_parser().parse_args(
+            ["--aio", "--out", str(tmp_path / "out"), "--harness", str(harness)]
+        )
+        assert run_bench(args) == 0
+        # No scenario ran; the skip is an explicit artifact, not silence.
+        assert _calls(tmp_path) == []
+        skip = json.loads((tmp_path / "out" / "BENCH_aio_skipped.json").read_text())
+        assert skip["status"] == "skipped"
+        assert skip["tier"] == "aio"
+        assert "reason" in skip
+
+    def test_skip_bypasses_the_check_gate(self, tmp_path):
+        # Where the tier cannot run, --check must not fail on missing
+        # results — the skip artifact is the record CI uploads instead.
+        harness = _write_fake_harness(tmp_path, available=False)
+        args = build_bench_parser().parse_args(
+            ["--aio", "--out", str(tmp_path / "out"),
+             "--check", str(tmp_path / "nonexistent-baselines"),
+             "--harness", str(harness)]
+        )
+        assert run_bench(args) == 0
+
+    def test_real_harness_exports_the_aio_tier(self):
+        import benchmarks.harness as real
+
+        assert set(real.AIO_SCENARIOS) == {
+            "aio_cluster_throughput", "aio_transport_blast"
+        }
+        assert isinstance(real.aio_available(), bool)
+        assert set(real.AIO_SCENARIOS) <= set(real.ALL_SCENARIOS)
 
 
 @pytest.mark.slow
