@@ -110,7 +110,7 @@ class AioCluster:
             await node.start()
             replica = LogServer(
                 self.group, addr_token=node.token, config=self.config,
-                role=LoggerRole.REPLICA,
+                role=LoggerRole.REPLICA, parse_token=parse_token,
             )
             node.machines.append(replica)
             await node.run_machine(replica.start, node.now)
@@ -123,6 +123,7 @@ class AioCluster:
             self.group, addr_token=self.primary_node.token, config=self.config,
             role=LoggerRole.PRIMARY, level=0,
             replicas=tuple(n.address for n in self.replica_nodes),
+            parse_token=parse_token,
         )
         self.primary_node.machines.append(self.primary)
         await self.primary_node.run_machine(self.primary.start, self.primary_node.now)

@@ -21,6 +21,9 @@ inside individual tests into one reusable layer:
   transport-agnostic judgement shared by both oracles.
 * :mod:`repro.chaos.live` — :class:`LiveOracle`, the same invariants
   checked against a real-UDP :class:`~repro.aio.cluster.AioCluster`.
+* :mod:`repro.chaos.sweep` — the exhaustive crash-point failover sweep
+  behind ``repro failover-sweep``: enumerate every distinct schedule
+  point, crash the primary at each, grade every replay.
 """
 
 from repro.chaos.campaign import run_campaign, sample_schedule
@@ -29,6 +32,7 @@ from repro.chaos.invariants import InvariantLedger, Violation
 from repro.chaos.live import LiveOracle
 from repro.chaos.oracle import ChaosOracle
 from repro.chaos.schedule import Fault, FaultSchedule, PacketChaos
+from repro.chaos.sweep import enumerate_crash_points, run_crash_case, run_sweep_campaign
 
 __all__ = [
     "Fault",
@@ -39,6 +43,9 @@ __all__ = [
     "InvariantLedger",
     "LiveOracle",
     "Violation",
+    "enumerate_crash_points",
     "run_campaign",
+    "run_crash_case",
+    "run_sweep_campaign",
     "sample_schedule",
 ]

@@ -37,7 +37,9 @@ SOURCE_TYPES = frozenset(
 class Violation:
     """One observed invariant breach."""
 
-    invariant: str  # "delivery" | "silence" | "log-safety" | "log-completeness" | "promotion"
+    # "delivery" | "silence" | "log-safety" | "log-completeness" |
+    # "promotion" | "committed-loss" | "stale-epoch" | "failover-stall"
+    invariant: str
     time: float
     subject: str
     detail: str
@@ -66,11 +68,15 @@ class InvariantLedger:
         *,
         silence_slack: float = 2.0,
         grace: float = 0.25,
+        max_idle_time: float | None = None,
     ) -> None:
         self.violations: list[Violation] = []
         self._hb = heartbeat
         self._slack = silence_slack
         self._grace = grace
+        # I6's stall bound: recovery after a failover must resume within
+        # about one MaxIT.  Defaults to h_max when not configured.
+        self._max_idle = max_idle_time if max_idle_time is not None else heartbeat.h_max
         self._last_tx: float | None = None
         self._expected = heartbeat.h_min
         self._silence_reported_at: float | None = None
@@ -80,6 +86,13 @@ class InvariantLedger:
         self._roles: dict[str, LoggerRole] = {}
         self._promotions: list[tuple[float, str, int]] = []
         self._promoted: set[str] = set()
+        # I6: the commit-point ratchet and any failover awaiting catch-up.
+        # Epochs start at 1 (the configured primary's term): any
+        # promotion must move strictly beyond the term it replaces.
+        self._committed_high = 0
+        self._committed_reported = 0
+        self._last_epoch = 1
+        self._pending_failover: tuple[float, int] | None = None
         self._obs_violations = obs.registry().counter("chaos.violations")
 
     def record(self, invariant: str, time: float, subject: str, detail: str) -> None:
@@ -167,8 +180,13 @@ class InvariantLedger:
             self.record("promotion", now, subject, f"demoted from PRIMARY to {role.name}")
         self._roles[subject] = role
 
-    def on_promotion(self, subject: str, from_seq: int, now: float) -> None:
-        """I4 (part): promotions are one-shot and sequence-monotone."""
+    def on_promotion(self, subject: str, from_seq: int, now: float, epoch: int = 0) -> None:
+        """I4 (part): promotions are one-shot and sequence-monotone.
+
+        ``epoch`` (I6, when reported) must move strictly beyond every
+        term seen so far — a promotion into a term the group already
+        left would resurrect a stale primary.
+        """
         if subject in self._promoted:
             self.record("promotion", now, subject, "promoted to PRIMARY a second time")
         self._promoted.add(subject)
@@ -181,6 +199,54 @@ class InvariantLedger:
                     f"was promoted at from_seq {prev_seq}",
                 )
         self._promotions.append((now, subject, from_seq))
+        if epoch:
+            if epoch <= self._last_epoch:
+                self.record(
+                    "stale-epoch", now, subject,
+                    f"promoted into epoch {epoch}, but the group already "
+                    f"reached epoch {self._last_epoch}",
+                )
+            else:
+                self._last_epoch = epoch
+
+    # -- I6: committed packets survive failover -----------------------------
+
+    def on_commit_point(self, seq: int, now: float) -> None:
+        """The commit point was observed at ``seq`` (ratchets up only)."""
+        if seq > self._committed_high:
+            self._committed_high = seq
+
+    def check_committed_survival(self, now: float, subject: str, prefix: int) -> None:
+        """I6 (safety): the trusted primary covers every committed packet."""
+        if prefix < self._committed_high and self._committed_reported != self._committed_high:
+            self._committed_reported = self._committed_high
+            self.record(
+                "committed-loss", now, subject,
+                f"holds contiguously through {prefix}, but seq "
+                f"{self._committed_high} was already committed",
+            )
+
+    def on_failover(self, now: float, high: int) -> None:
+        """A failover began: the promoted primary owes prefix ``high``."""
+        if self._pending_failover is None or high > self._pending_failover[1]:
+            self._pending_failover = (now, high)
+
+    def check_failover_stall(self, now: float, trusted_prefix: int) -> None:
+        """I6 (liveness): post-failover catch-up completes within ~one MaxIT."""
+        if self._pending_failover is None:
+            return
+        started, high = self._pending_failover
+        if trusted_prefix >= high:
+            self._pending_failover = None
+            return
+        allowed = self._slack * self._max_idle + self._grace
+        if now - started > allowed:
+            self._pending_failover = None
+            self.record(
+                "failover-stall", now, "source",
+                f"promoted primary reached only {trusted_prefix} of {high} "
+                f"{now - started:.3f}s after failover (allowed {allowed:.3f}s)",
+            )
 
     # -- I1: eventual gap-free delivery -------------------------------------
 

@@ -32,7 +32,7 @@ from repro.aio.cluster import AioCluster
 from repro.aio.node import AioNode
 from repro.chaos.invariants import SOURCE_TYPES, InvariantLedger, Violation
 from repro.core.actions import Action, SendMulticast, SendUnicast
-from repro.core.events import Event, PromotedToPrimary
+from repro.core.events import Event, PrimaryFailover, PromotedToPrimary
 from repro.core.logger import LogServer
 from repro.core.packets import PacketType
 
@@ -59,7 +59,10 @@ class LiveOracle:
     ) -> None:
         self.cluster = cluster
         self.ledger = InvariantLedger(
-            cluster.config.heartbeat, silence_slack=silence_slack, grace=grace
+            cluster.config.heartbeat,
+            silence_slack=silence_slack,
+            grace=grace,
+            max_idle_time=cluster.config.receiver.max_idle_time,
         )
         self._interval = check_interval
         self._require_delivery = require_delivery
@@ -93,6 +96,7 @@ class LiveOracle:
 
     def _hook_sender(self, node: AioNode) -> None:
         chained = node.on_send
+        chained_event = node.on_event
 
         def on_send(action: Action, now: float) -> None:
             if chained is not None:
@@ -106,7 +110,14 @@ class LiveOracle:
                     )
                     self.ledger.on_source_tx(ptype, now, hb_index=hb_index)
 
+        def on_event(event: Event, now: float) -> None:
+            if isinstance(event, PrimaryFailover):
+                self.ledger.on_failover(now, event.high_seq)
+            if chained_event is not None:
+                chained_event(event, now)
+
         node.on_send = on_send
+        node.on_event = on_event
 
     def _hook_promotions(self, node: AioNode) -> None:
         chained = node.on_event
@@ -114,7 +125,7 @@ class LiveOracle:
 
         def on_event(event: Event, now: float) -> None:
             if isinstance(event, PromotedToPrimary):
-                self.ledger.on_promotion(subject, event.from_seq, now)
+                self.ledger.on_promotion(subject, event.from_seq, now, epoch=event.log_epoch)
             if chained is not None:
                 chained(event, now)
 
@@ -129,6 +140,7 @@ class LiveOracle:
         self._check_silence(now)
         self._check_log_safety(now)
         self._check_roles(now)
+        self._check_commit_point(now)
         self._sweep_handle = self._loop.call_later(self._interval, self._sweep)
 
     def finish(self) -> list[Violation]:
@@ -142,6 +154,7 @@ class LiveOracle:
         self._check_silence(now)
         self._check_log_safety(now)
         self._check_roles(now)
+        self._check_commit_point(now)
         if self._require_delivery:
             self._check_delivery(now)
         if self._require_full_logs:
@@ -186,6 +199,23 @@ class LiveOracle:
     def _check_roles(self, now: float) -> None:
         for machine, node in self._primary_capable():
             self.ledger.observe_role(node.token, machine.role, now)
+
+    def _check_commit_point(self, now: float) -> None:
+        """I6: ratchet the observed commit point and hold the trusted
+        primary to it (crashed machines' logs are durable and still count)."""
+        sender = self.cluster.sender
+        if sender is None:
+            return
+        self.ledger.on_commit_point(sender.released_up_to, now)
+        current = sender.primary
+        for machine, node in self._primary_capable():
+            if node.address != current:
+                continue
+            replication = machine.replication
+            if replication is not None and replication.members:
+                self.ledger.on_commit_point(replication.commit_seq, now)
+            self.ledger.check_committed_survival(now, node.token, machine.primary_seq)
+            self.ledger.check_failover_stall(now, machine.primary_seq)
 
     def _check_delivery(self, now: float) -> None:
         cluster = self.cluster

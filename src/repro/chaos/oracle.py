@@ -36,7 +36,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING
 
 from repro.chaos.invariants import SOURCE_TYPES, InvariantLedger, Violation
-from repro.core.events import PromotedToPrimary
+from repro.core.events import PrimaryFailover, PromotedToPrimary
 from repro.core.logger import LogServer
 from repro.core.packets import PacketType
 from repro.simnet.deploy import LbrmDeployment
@@ -82,7 +82,10 @@ class ChaosOracle:
         self.deployment = deployment
         self.controller = controller
         self.ledger = InvariantLedger(
-            deployment.spec.config.heartbeat, silence_slack=silence_slack, grace=grace
+            deployment.spec.config.heartbeat,
+            silence_slack=silence_slack,
+            grace=grace,
+            max_idle_time=deployment.spec.config.receiver.max_idle_time,
         )
         self._interval = check_interval
         self._require_delivery = require_delivery
@@ -110,6 +113,8 @@ class ChaosOracle:
             self.ledger.observe_role(machine.addr_token, machine.role, now)
         for node in dep.replica_nodes:
             self._hook_promotions(node)
+        if dep.source_node is not None:
+            self._hook_failovers(dep.source_node)
         dep.sim.schedule(now + self._interval, self._sweep)
 
     def _make_observer(self, chained):
@@ -128,14 +133,25 @@ class ChaosOracle:
 
         def on_event(event, now: float) -> None:
             if isinstance(event, PromotedToPrimary):
-                self._on_promotion(name, event.from_seq, now)
+                self._on_promotion(name, event.from_seq, now, event.log_epoch)
             if chained is not None:
                 chained(event, now)
 
         node._on_event = on_event
 
-    def _on_promotion(self, node_name: str, from_seq: int, now: float) -> None:
-        self.ledger.on_promotion(node_name, from_seq, now)
+    def _hook_failovers(self, node) -> None:
+        chained = node._on_event
+
+        def on_event(event, now: float) -> None:
+            if isinstance(event, PrimaryFailover):
+                self.ledger.on_failover(now, event.high_seq)
+            if chained is not None:
+                chained(event, now)
+
+        node._on_event = on_event
+
+    def _on_promotion(self, node_name: str, from_seq: int, now: float, epoch: int = 0) -> None:
+        self.ledger.on_promotion(node_name, from_seq, now, epoch=epoch)
 
     # -- periodic sweep ----------------------------------------------------
 
@@ -146,6 +162,7 @@ class ChaosOracle:
         self._check_silence(now)
         self._check_log_safety(now)
         self._check_roles(now)
+        self._check_commit_point(now)
         self.deployment.sim.schedule(now + self._interval, self._sweep)
 
     def finish(self) -> list[Violation]:
@@ -155,6 +172,7 @@ class ChaosOracle:
         self._check_silence(now)
         self._check_log_safety(now)
         self._check_roles(now)
+        self._check_commit_point(now)
         if self._require_delivery:
             self._check_delivery(now)
         if self._require_full_logs:
@@ -204,6 +222,35 @@ class ChaosOracle:
     def _check_roles(self, now: float) -> None:
         for machine, _node in self._primary_capable():
             self.ledger.observe_role(machine.addr_token, machine.role, now)
+
+    def _trusted_primary(self) -> LogServer | None:
+        """The log machine the sender currently trusts (changes at failover)."""
+        sender = self.deployment.sender
+        if sender is None:
+            return None
+        current = sender.primary
+        for machine, _node in self._primary_capable():
+            if machine.addr_token == current:
+                return machine
+        return None
+
+    def _check_commit_point(self, now: float) -> None:
+        """I6: ratchet the observed commit point and hold the trusted
+        primary to it.  Logs are durable (§2.2.3), so a crashed machine's
+        prefix still counts — what must never happen is the group
+        electing a primary whose log misses a committed packet."""
+        sender = self.deployment.sender
+        if sender is None:
+            return
+        self.ledger.on_commit_point(sender.released_up_to, now)
+        trusted = self._trusted_primary()
+        if trusted is None:
+            return
+        replication = trusted.replication
+        if replication is not None and replication.members:
+            self.ledger.on_commit_point(replication.commit_seq, now)
+        self.ledger.check_committed_survival(now, trusted.addr_token, trusted.primary_seq)
+        self.ledger.check_failover_stall(now, trusted.primary_seq)
 
     def _check_delivery(self, now: float) -> None:
         dep = self.deployment

@@ -15,6 +15,8 @@ Commands
                  and write machine-readable ``BENCH_*.json`` results.
 ``chaos``      — run the randomized fault-injection conformance campaign
                  (seeded schedules, invariant oracle, reproducer seeds).
+``failover-sweep`` — exhaustively crash the primary at every distinct
+                 schedule point and grade each replay (zero-loss proof).
 ``aio-smoke``  — run a real-UDP cluster (site secondary + replica) under
                  the live invariant oracle and write a JSON report;
                  degrades to a "skipped" report where multicast is
@@ -189,6 +191,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     build_chaos_parser(chaos)
     chaos.set_defaults(fn=run_chaos)
+    from repro.chaos.sweep import build_sweep_parser, run_sweep
+
+    sweep = sub.add_parser(
+        "failover-sweep",
+        help="exhaustive crash-point failover sweep (zero-loss proof, JSON artifact)",
+    )
+    build_sweep_parser(sweep)
+    sweep.set_defaults(fn=run_sweep)
     from repro.aio.smoke import build_smoke_parser, run_smoke
 
     smoke = sub.add_parser(

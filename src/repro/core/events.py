@@ -137,11 +137,18 @@ class LoggerUnreachable(Event):
 
 @dataclass(frozen=True, slots=True)
 class PrimaryFailover(Event):
-    """The source promoted a replica after primary-log failure."""
+    """The source promoted a replica after primary-log failure.
+
+    ``log_epoch`` is the new promotion term; ``high_seq`` the sender's
+    high-water mark at failover time (the prefix the promoted primary
+    must reach for handover to count as complete).
+    """
 
     old_primary: Address
     new_primary: Address
     resent_packets: int
+    log_epoch: int = 0
+    high_seq: int = 0
 
 
 @dataclass(frozen=True, slots=True)
@@ -149,6 +156,7 @@ class PromotedToPrimary(Event):
     """This replica was told it is now the primary logger."""
 
     from_seq: int
+    log_epoch: int = 0
 
 
 @dataclass(frozen=True, slots=True)

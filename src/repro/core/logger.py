@@ -85,6 +85,12 @@ class LogServer(ProtocolMachine):
         Replica addresses (primary only).
     level:
         Hierarchy depth advertised in discovery replies (0 = primary).
+    parse_token:
+        Converts a wire address token back into an :class:`Address`
+        (used for the membership list a PROMOTE packet carries).  The
+        simulator's addresses are their own tokens, so the default is
+        the identity; asyncio harnesses pass
+        :func:`repro.aio.node.parse_token`.
     """
 
     def __init__(
@@ -100,6 +106,7 @@ class LogServer(ProtocolMachine):
         level: int = 1,
         rng: random.Random | None = None,
         spool_path: str | None = None,
+        parse_token=None,
     ) -> None:
         super().__init__()
         self._group = group
@@ -109,6 +116,7 @@ class LogServer(ProtocolMachine):
         self._parent = parent
         self._source = source
         self._level = level
+        self._parse_token = parse_token or (lambda token: token)
         # Deterministic default (str seeds hash stably): volunteer coins
         # and jitter repeat identically run to run.
         self._rng = rng or random.Random("repro.core.logger")
@@ -145,9 +153,20 @@ class LogServer(ProtocolMachine):
         # Epochs this (secondary) server volunteered to ack.
         self._acking_epochs: set[int] = set()
 
+        # Promotion term (DESIGN.md §10): the configured primary starts
+        # the group at epoch 1; replicas learn the epoch from the pushes
+        # they ack and from the PROMOTE packet that raises them.
+        self._log_epoch = 1 if role is LoggerRole.PRIMARY else 0
+        # Highest commit point this server has *learned* (piggybacked on
+        # REPL_UPDATE pushes); its own committed prefix is capped by what
+        # it actually holds (see _commit_for_ack).
+        self._commit_learned = 0
+
         self._replication: ReplicationManager | None = None
         if role is LoggerRole.PRIMARY:
-            self._replication = ReplicationManager(group, replicas, self._config.replication)
+            self._replication = ReplicationManager(
+                group, replicas, self._config.replication, epoch=self._log_epoch
+            )
 
         registry = obs.registry()
         self._trace = registry.trace
@@ -196,6 +215,31 @@ class LogServer(ProtocolMachine):
     @property
     def replication(self) -> ReplicationManager | None:
         return self._replication
+
+    @property
+    def log_epoch(self) -> int:
+        """Highest promotion term this server has seen (0 = none yet)."""
+        return self._log_epoch
+
+    @property
+    def commit_point(self) -> int:
+        """The commit point this server can vouch for.
+
+        A primary with followers reports its replication commit point; a
+        primary without followers is the only copy, so its own prefix is
+        the best available notion; a follower reports its committed
+        prefix (learned commit capped by what it holds).
+        """
+        if self._replication is not None:
+            if self._replication.members:
+                return self._replication.commit_seq
+            return self.primary_seq
+        return self._commit_for_ack()
+
+    def _commit_for_ack(self) -> int:
+        commit = self._commit_learned
+        held = self.primary_seq
+        return commit if commit < held else held
 
     def set_source(self, source: Address) -> None:
         """Install the source address (needed when ports are dynamic)."""
@@ -318,9 +362,14 @@ class LogServer(ProtocolMachine):
         if self._source is None:
             return []
         replica_seq = self.primary_seq
-        if self._replication is not None and self._replication.replicas:
-            replica_seq = self._replication.replica_seq
-        ack = LogAckPacket(group=self._group, primary_seq=self.primary_seq, replica_seq=replica_seq)
+        if self._replication is not None and self._replication.members:
+            replica_seq = self._replication.commit_seq
+        ack = LogAckPacket(
+            group=self._group,
+            primary_seq=self.primary_seq,
+            replica_seq=replica_seq,
+            log_epoch=self._log_epoch,
+        )
         return [SendUnicast(dest=self._source, packet=ack)]
 
     # -- serving retransmission requests -----------------------------------
@@ -475,14 +524,23 @@ class LogServer(ProtocolMachine):
     def _on_repl_update(self, packet: ReplUpdatePacket, src: Address, now: float) -> list[Action]:
         if self._role is LoggerRole.SECONDARY:
             return []
+        # Epoch gate (DESIGN.md §10): a push from a stale term — a
+        # restarted pre-failover primary, or one delayed in flight across
+        # a promotion — must neither enter the log bookkeeping as fresh
+        # replication nor be acknowledged (an ack would let the stale
+        # primary keep "committing" in a term the group has left).
+        if packet.log_epoch and packet.log_epoch < self._log_epoch:
+            return []
+        if packet.log_epoch > self._log_epoch:
+            self._log_epoch = packet.log_epoch
+        if packet.commit_seq > self._commit_learned:
+            self._commit_learned = packet.commit_seq
         self.tracker.observe_data(packet.seq)
         if self.log.append(packet.seq, packet.payload, now):
             self.stats["logged"] += 1
             self._obs_log_packets.set(len(self.log))
             self._obs_log_bytes.set(self.log.byte_size)
-        actions: list[Action] = [
-            SendUnicast(dest=src, packet=ReplAckPacket(group=self._group, cum_seq=self._cum_seq()))
-        ]
+        actions: list[Action] = [SendUnicast(dest=src, packet=self._repl_ack())]
         if self._role is LoggerRole.PRIMARY:
             # Promoted primary receiving the source's handover also keeps
             # the source's buffer-release machinery moving.
@@ -494,16 +552,37 @@ class LogServer(ProtocolMachine):
         if self._replication is None:
             return []
         cum = 0 if packet.cum_seq == _NO_SEQ else packet.cum_seq
-        if self._replication.on_ack(src, cum, now):
-            return self._ack_source(now)
-        return []
+        grew = self._replication.on_ack(src, cum, now, epoch=packet.log_epoch)
+        actions: list[Action] = []
+        # Catch-up path: a follower behind the log's own prefix (freshly
+        # adopted after a promotion, or one whose updates were dropped
+        # after the retry budget) is backfilled from the log, paced one
+        # batch per acknowledgement.
+        for seq in self._replication.missing_for(src, self.primary_seq):
+            entry = self.log.peek(seq)
+            if entry is None:
+                continue
+            actions.extend(self._replication.replicate_to(src, seq, entry.payload, now))
+        if grew:
+            actions.extend(self._ack_source(now))
+        return actions
 
     def _on_repl_status(self, packet: ReplStatusQueryPacket, src: Address, now: float) -> list[Action]:
-        return [SendUnicast(dest=src, packet=ReplAckPacket(group=self._group, cum_seq=self._cum_seq()))]
+        return [SendUnicast(dest=src, packet=self._repl_ack())]
+
+    def _repl_ack(self) -> ReplAckPacket:
+        return ReplAckPacket(
+            group=self._group,
+            cum_seq=self._cum_seq(),
+            log_epoch=self._log_epoch,
+            commit_seq=self._commit_for_ack(),
+        )
 
     def _on_promote(self, packet: PromotePacket, src: Address, now: float) -> list[Action]:
         if self._role is not LoggerRole.REPLICA:
             return []
+        if packet.log_epoch and packet.log_epoch <= self._log_epoch:
+            return []  # stale promotion (a term this replica already left)
         self._role = LoggerRole.PRIMARY
         self._is_secondary = False
         self._source = src
@@ -511,13 +590,29 @@ class LogServer(ProtocolMachine):
         # promoted log is backfilled from the reliability buffer.
         self._parent = src
         self._level = 0
-        self._trace.emit(now, "logger.promoted", node=self._addr_token, from_seq=packet.from_seq)
-        if self._replication is None:
-            self._replication = ReplicationManager(self._group, (), self._config.replication)
-        return [
+        self._log_epoch = packet.log_epoch if packet.log_epoch else self._log_epoch + 1
+        members = tuple(
+            self._parse_token(token) for token in packet.members.split(",") if token
+        )
+        self._trace.emit(
+            now, "logger.promoted", node=self._addr_token,
+            from_seq=packet.from_seq, log_epoch=self._log_epoch,
+        )
+        self._replication = ReplicationManager(
+            self._group, (), self._config.replication, epoch=self._log_epoch
+        )
+        actions: list[Action] = [
             JoinGroup(group=self._group),
-            Notify(PromotedToPrimary(from_seq=packet.from_seq)),
+            Notify(PromotedToPrimary(from_seq=packet.from_seq, log_epoch=self._log_epoch)),
         ]
+        # Adopt the surviving membership and solicit each follower's
+        # progress; their answers drive the backfill in _on_repl_ack, so
+        # the commit point stays replicated across the failover.
+        query = ReplStatusQueryPacket(group=self._group)
+        for member in members:
+            self._replication.adopt(member, now)
+            actions.append(SendUnicast(dest=member, packet=query))
+        return actions
 
     def _cum_seq(self) -> int:
         cum = self.primary_seq

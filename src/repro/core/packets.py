@@ -568,23 +568,33 @@ class LogAckPacket(Packet):
     Carries both the primary logger sequence number (source may release
     its application buffer and keep processing) and the replicated
     logger sequence number (source may discard data only up to here).
+    ``log_epoch`` is the promotion term the acking logger believes it is
+    primary for; the source ignores ACKs from a stale epoch (0 = the
+    pre-epoch wire form, accepted for compatibility).
     """
 
     primary_seq: int
     replica_seq: int
+    log_epoch: int = 0
 
     TYPE: ClassVar[PacketType] = PacketType.LOG_ACK
-    WIRE: ClassVar[tuple] = (("primary_seq", "u64"), ("replica_seq", "u64"))
+    WIRE: ClassVar[tuple] = (
+        ("primary_seq", "u64"),
+        ("replica_seq", "u64"),
+        ("log_epoch", "u32"),
+    )
 
     def encode_body(self) -> bytes:
-        return struct.pack("!QQ", self.primary_seq, self.replica_seq)
+        return struct.pack("!QQI", self.primary_seq, self.replica_seq, self.log_epoch)
 
     @classmethod
     def decode_body(cls, group: str, buf: memoryview) -> "LogAckPacket":
-        if len(buf) != 16:
+        if len(buf) != 20:
             raise DecodeError("bad LOG_ACK body length")
-        primary_seq, replica_seq = struct.unpack_from("!QQ", buf, 0)
-        return cls(group=group, primary_seq=primary_seq, replica_seq=replica_seq)
+        primary_seq, replica_seq, log_epoch = struct.unpack_from("!QQI", buf, 0)
+        return cls(
+            group=group, primary_seq=primary_seq, replica_seq=replica_seq, log_epoch=log_epoch
+        )
 
 
 @register_packet
@@ -750,56 +760,82 @@ class DiscoveryReplyPacket(Packet):
 @register_packet
 @dataclass(frozen=True, slots=True)
 class ReplUpdatePacket(Packet):
-    """Primary → replica log-entry push (§2.2.3).
+    """Primary → follower log-entry push (§2.2.3).
 
     Also reused source → promoted-replica during failover to hand over
     buffered packets the failed primary never replicated.
+    ``log_epoch`` stamps the pushing primary's promotion term (followers
+    reject pushes from a stale term); ``commit_seq`` piggybacks the
+    primary's current commit point so followers learn how far the group
+    has durably committed without extra control traffic.
     """
 
     seq: int
     payload: bytes
+    log_epoch: int = 0
+    commit_seq: int = 0
 
     TYPE: ClassVar[PacketType] = PacketType.REPL_UPDATE
-    WIRE: ClassVar[tuple] = (("seq", "u64"), ("payload", "bytes"))
+    WIRE: ClassVar[tuple] = (
+        ("seq", "u64"),
+        ("log_epoch", "u32"),
+        ("commit_seq", "u64"),
+        ("payload", "bytes"),
+    )
 
     def encode_body(self) -> bytes:
-        return struct.pack("!Q", self.seq) + _pack_bytes(self.payload)
+        return struct.pack("!QIQ", self.seq, self.log_epoch, self.commit_seq) + _pack_bytes(
+            self.payload
+        )
 
     @classmethod
     def decode_body(cls, group: str, buf: memoryview) -> "ReplUpdatePacket":
-        if len(buf) < 8:
+        if len(buf) < 20:
             raise DecodeError("truncated REPL_UPDATE body")
-        (seq,) = struct.unpack_from("!Q", buf, 0)
-        payload, end = _unpack_bytes(buf, 8)
+        seq, log_epoch, commit_seq = struct.unpack_from("!QIQ", buf, 0)
+        payload, end = _unpack_bytes(buf, 20)
         if end != len(buf):
             raise DecodeError("trailing garbage after REPL_UPDATE body")
-        return cls(group=group, seq=seq, payload=payload)
+        return cls(
+            group=group, seq=seq, payload=payload, log_epoch=log_epoch, commit_seq=commit_seq
+        )
 
 
 @register_packet
 @dataclass(frozen=True, slots=True)
 class ReplAckPacket(Packet):
-    """Replica → primary cumulative acknowledgement.
+    """Follower → primary cumulative acknowledgement.
 
-    ``cum_seq`` is the highest sequence such that the replica holds every
-    packet ≤ ``cum_seq``; 2**64-1 is reserved as "nothing yet" sentinel
-    (encoded) but exposed as ``cum_seq is None`` in the replication API.
+    ``cum_seq`` is the highest sequence such that the follower *durably
+    holds* every packet ≤ ``cum_seq`` (a contiguous prefix — received
+    but gapped packets do not count); 2**64-1 is reserved as the
+    "nothing yet" sentinel (encoded) but exposed as ``cum_seq is None``
+    in the replication API.  ``log_epoch`` is the highest promotion term
+    the follower has seen, and ``commit_seq`` its *committed* prefix —
+    ``min(learned commit point, own contiguous prefix)`` — used as the
+    promotion tie-break during failover.
     """
 
     cum_seq: int
+    log_epoch: int = 0
+    commit_seq: int = 0
 
     TYPE: ClassVar[PacketType] = PacketType.REPL_ACK
-    WIRE: ClassVar[tuple] = (("cum_seq", "u64"),)
+    WIRE: ClassVar[tuple] = (
+        ("cum_seq", "u64"),
+        ("log_epoch", "u32"),
+        ("commit_seq", "u64"),
+    )
 
     def encode_body(self) -> bytes:
-        return struct.pack("!Q", self.cum_seq)
+        return struct.pack("!QIQ", self.cum_seq, self.log_epoch, self.commit_seq)
 
     @classmethod
     def decode_body(cls, group: str, buf: memoryview) -> "ReplAckPacket":
-        if len(buf) != 8:
+        if len(buf) != 20:
             raise DecodeError("bad REPL_ACK body length")
-        (cum_seq,) = struct.unpack_from("!Q", buf, 0)
-        return cls(group=group, cum_seq=cum_seq)
+        cum_seq, log_epoch, commit_seq = struct.unpack_from("!QIQ", buf, 0)
+        return cls(group=group, cum_seq=cum_seq, log_epoch=log_epoch, commit_seq=commit_seq)
 
 
 @register_packet
@@ -847,22 +883,38 @@ class PrimaryInfoPacket(Packet):
 @register_packet
 @dataclass(frozen=True, slots=True)
 class PromotePacket(Packet):
-    """Source → replica: become the primary; serve from ``from_seq``."""
+    """Source → replica: become the primary; serve from ``from_seq``.
+
+    ``log_epoch`` is the new promotion term (strictly greater than every
+    term the group has used); ``members`` carries the surviving replica
+    membership as comma-joined address tokens, so the promoted primary
+    adopts them as its followers and keeps the commit point replicated
+    instead of falling back to a single-copy log.
+    """
 
     from_seq: int
+    log_epoch: int = 0
+    members: str = ""
 
     TYPE: ClassVar[PacketType] = PacketType.PROMOTE
-    WIRE: ClassVar[tuple] = (("from_seq", "u64"),)
+    WIRE: ClassVar[tuple] = (
+        ("from_seq", "u64"),
+        ("log_epoch", "u32"),
+        ("members", "str"),
+    )
 
     def encode_body(self) -> bytes:
-        return struct.pack("!Q", self.from_seq)
+        return struct.pack("!QI", self.from_seq, self.log_epoch) + _pack_str(self.members)
 
     @classmethod
     def decode_body(cls, group: str, buf: memoryview) -> "PromotePacket":
-        if len(buf) != 8:
-            raise DecodeError("bad PROMOTE body length")
-        (from_seq,) = struct.unpack_from("!Q", buf, 0)
-        return cls(group=group, from_seq=from_seq)
+        if len(buf) < 12:
+            raise DecodeError("truncated PROMOTE body")
+        from_seq, log_epoch = struct.unpack_from("!QI", buf, 0)
+        members, end = _unpack_str(buf, 12)
+        if end != len(buf):
+            raise DecodeError("trailing garbage after PROMOTE body")
+        return cls(group=group, from_seq=from_seq, log_epoch=log_epoch, members=members)
 
 
 @register_packet

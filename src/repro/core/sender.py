@@ -143,9 +143,15 @@ class LbrmSender(ProtocolMachine):
             self._statack.rate_controller = self.rate_controller
 
         self._failover = FailoverPhase.HEALTHY
-        self._failover_votes: dict[Address, int] = {}
+        # Vote per replica: (cumulative prefix or -1, commit point, epoch).
+        self._failover_votes: dict[Address, tuple[int, int, int]] = {}
         self._handover_target: Address | None = None
         self._handover_pending: list[int] = []
+        # Promotion term (DESIGN.md §10).  The configured primary serves
+        # term 1; every failover moves to a term strictly above anything
+        # any voter has seen, so a stale primary can never be confused
+        # with the current one.
+        self._log_epoch = 1
 
         registry = obs.registry()
         self._trace = registry.trace
@@ -198,6 +204,11 @@ class LbrmSender(ProtocolMachine):
     @property
     def failover_phase(self) -> FailoverPhase:
         return self._failover
+
+    @property
+    def log_epoch(self) -> int:
+        """Promotion term of the primary this source currently trusts."""
+        return self._log_epoch
 
     # -- lifecycle ----------------------------------------------------------
 
@@ -314,6 +325,8 @@ class LbrmSender(ProtocolMachine):
     def _on_log_ack(self, packet: LogAckPacket, src: Address, now: float) -> list[Action]:
         if src != self._primary:
             return []  # stale ACK from a demoted primary
+        if packet.log_epoch and packet.log_epoch != self._log_epoch:
+            return []  # ACK from a term the source is not in (epoch 0 = legacy)
         self.stats["log_acks"] += 1
         self.timers.set(("primary_check",), now + self._config.replication.primary_timeout)
         if self._failover is not FailoverPhase.HEALTHY:
@@ -414,9 +427,15 @@ class LbrmSender(ProtocolMachine):
     def _on_repl_ack(self, packet: ReplAckPacket, src: Address, now: float) -> list[Action]:
         cum = None if packet.cum_seq == _NO_SEQ else packet.cum_seq
         if self._failover is FailoverPhase.QUERYING and src in self._replicas:
-            self._failover_votes[src] = -1 if cum is None else cum
+            self._failover_votes[src] = (
+                -1 if cum is None else cum,
+                packet.commit_seq,
+                packet.log_epoch,
+            )
             return []
         if self._failover is FailoverPhase.HANDOVER and src == self._handover_target:
+            if packet.log_epoch and packet.log_epoch < self._log_epoch:
+                return []  # an answer from before the promotion reached it
             return self._advance_handover(cum or 0, now)
         return []
 
@@ -429,9 +448,19 @@ class LbrmSender(ProtocolMachine):
             return []
         # "locates the logging server replica holding the most up-to-date
         # packets — that is, the replica associated with the most recent
-        # replicated logger sequence number."
-        best = max(self._failover_votes, key=lambda a: self._failover_votes[a])
-        best_cum = max(self._failover_votes[best], 0)
+        # replicated logger sequence number."  Rank by cumulative prefix,
+        # then by committed prefix, and break exact ties by the lowest
+        # node token so promotion is deterministic on every engine (and
+        # over UDP) regardless of the order the votes arrived in.
+        votes = self._failover_votes
+        best = min(
+            votes,
+            key=lambda a: (-votes[a][0], -votes[a][1], self._format_token(a)),
+        )
+        best_cum = max(votes[best][0], 0)
+        # The new term is strictly above anything any voter has seen, so
+        # a revived pre-failover primary can never pass the epoch gates.
+        self._log_epoch = max(self._log_epoch, *(v[2] for v in votes.values())) + 1
         old_primary = self._primary
         self._primary = best
         self._replicas = tuple(r for r in self._replicas if r != best)
@@ -440,15 +469,24 @@ class LbrmSender(ProtocolMachine):
         self._handover_pending = [s for s in self._unacked if s > best_cum]
         self.stats["failovers"] += 1
         self._trace.emit(
-            now, "sender.failover", new_primary=str(best), resend=len(self._handover_pending)
+            now, "sender.failover", new_primary=str(best),
+            resend=len(self._handover_pending), log_epoch=self._log_epoch,
+        )
+        promote = PromotePacket(
+            group=self._group,
+            from_seq=best_cum + 1,
+            log_epoch=self._log_epoch,
+            members=",".join(self._format_token(r) for r in self._replicas),
         )
         actions: list[Action] = [
-            SendUnicast(dest=best, packet=PromotePacket(group=self._group, from_seq=best_cum + 1)),
+            SendUnicast(dest=best, packet=promote),
             Notify(
                 PrimaryFailover(
                     old_primary=old_primary,
                     new_primary=best,
                     resent_packets=len(self._handover_pending),
+                    log_epoch=self._log_epoch,
+                    high_seq=self._seq,
                 )
             ),
         ]
@@ -469,7 +507,13 @@ class LbrmSender(ProtocolMachine):
             payload = self._unacked.get(seq)
             if payload is None:
                 continue
-            update = ReplUpdatePacket(group=self._group, seq=seq, payload=payload)
+            update = ReplUpdatePacket(
+                group=self._group,
+                seq=seq,
+                payload=payload,
+                log_epoch=self._log_epoch,
+                commit_seq=self._released_up_to,
+            )
             actions.append(SendUnicast(dest=self._handover_target, packet=update))
         return actions
 

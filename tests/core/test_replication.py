@@ -97,3 +97,57 @@ def test_stale_ack_does_not_regress():
     mgr.on_ack("r0", 5, 0.0)
     mgr.on_ack("r0", 2, 0.1)  # reordered, stale
     assert mgr.acked_by("r0") == 5
+
+
+# -- commit-point membership & terms (DESIGN.md §10) ----------------------
+
+
+def test_updates_carry_term_and_commit_point():
+    mgr = ReplicationManager("g", ("r0", "r1"), epoch=3)
+    mgr.on_ack("r0", 1, 0.0, epoch=3)
+    actions = mgr.replicate(2, b"b", 0.1)
+    for u in updates(actions):
+        assert u.packet.log_epoch == 3
+        assert u.packet.commit_seq == 1  # min_replicas_acked=1: r0's prefix
+
+
+def test_stale_epoch_ack_is_discarded():
+    mgr = ReplicationManager("g", ("r0",), epoch=3)
+    assert not mgr.on_ack("r0", 4, 0.0, epoch=2)
+    assert mgr.commit_seq == 0
+    assert mgr.stats["stale_epoch_acks"] == 1
+    # epoch 0 = legacy/unversioned follower: always accepted
+    assert mgr.on_ack("r0", 4, 0.1, epoch=0)
+    assert mgr.commit_seq == 4
+
+
+def test_adopt_adds_member_counting_as_empty():
+    cfg = ReplicationConfig(min_replicas_acked=1)
+    mgr = ReplicationManager("g", ("r0",), cfg, epoch=2)
+    mgr.on_ack("r0", 3, 0.0, epoch=2)
+    assert mgr.adopt("r1", 0.1)
+    assert not mgr.adopt("r1", 0.2)  # idempotent
+    assert set(mgr.members) == {"r0", "r1"}
+    assert mgr.acked_by("r1") is None
+    assert mgr.commit_seq == 3  # m=1: the newcomer doesn't drag it down
+    assert mgr.stats["members_adopted"] == 1
+
+
+def test_backfill_is_batched_and_acks_advance_window():
+    mgr = ReplicationManager("g", (), epoch=2)
+    batch = mgr.BACKFILL_BATCH
+    mgr.adopt("late", 0.0)
+    gap = mgr.missing_for("late", 200)
+    assert len(gap) == batch
+    assert gap[0] == 1
+    mgr.on_ack("late", batch, 0.1, epoch=2)
+    nxt = mgr.missing_for("late", 200)
+    assert nxt[0] == batch + 1
+
+
+def test_replicate_to_skips_outstanding_entries():
+    mgr = ReplicationManager("g", ("r0",), epoch=2)
+    first = mgr.replicate_to("r0", 1, b"a", 0.0)
+    assert updates(first) and mgr.stats["backfills"] == 1
+    again = mgr.replicate_to("r0", 1, b"a", 0.1)
+    assert updates(again) == []  # already in flight, pacing holds

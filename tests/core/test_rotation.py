@@ -171,3 +171,91 @@ def test_rotation_over_simnet_load_is_shared():
         assert server.inner.primary_seq == 24, host
     served = {h: s.stats["served_on_duty"] for h, s in rotating.items()}
     assert all(count > 0 for count in served.values()), served
+
+
+def test_failover_across_rotation_boundary_keeps_logs_complete():
+    """Crash the primary log in the window between a rotation duty
+    hand-off and the first post-rotation append: the replica must take
+    over, the rotating members' logs must stay complete (I3), and the
+    stream must keep flowing through the newly on-duty member."""
+    from repro.chaos.invariants import InvariantLedger
+    from repro.core.config import ReplicationConfig
+    from repro.core.sender import LbrmSender
+    from repro.simnet import Network, RngStreams, SimNode, Simulator
+
+    sim = Simulator()
+    net = Network(sim, streams=RngStreams(7))
+    s0, s1 = net.add_site("s0"), net.add_site("s1")
+    cfg = LbrmConfig(replication=ReplicationConfig(
+        update_retry=0.1, primary_timeout=0.6, failover_wait=0.2,
+    ))
+
+    replica = LogServer("g", addr_token="replica0", config=cfg,
+                        role=LoggerRole.REPLICA, source="source")
+    SimNode(net, net.add_host("replica0", s0), [replica]).start()
+    primary = LogServer("g", addr_token="primary", config=cfg,
+                        role=LoggerRole.PRIMARY, source="source", level=0,
+                        replicas=("replica0",))
+    primary_node = SimNode(net, net.add_host("primary", s0), [primary])
+    primary_node.start()
+    sender = LbrmSender("g", cfg, primary="primary", replicas=("replica0",),
+                        addr_token="source")
+    src_node = SimNode(net, net.add_host("source", s0), [sender])
+    src_node.start()
+
+    members = ("h0", "h1")
+    schedule = RotationSchedule(members, period=1.0)  # hand-off at t=1.0
+    rotating = {}
+    for host in members:
+        inner = LogServer("g", addr_token=host, config=cfg,
+                          role=LoggerRole.SECONDARY, parent="primary", source="source",
+                          rng=net.streams.stream(f"rot:{host}"))
+        server = RotatingLogServer(inner, host, schedule)
+        rotating[host] = server
+        SimNode(net, net.add_host(host, s1), [server]).start()
+
+    # Pre-boundary stream while h0 is on duty.
+    sim.run_until(0.1)
+    src_node.send_app(sender, b"a")
+    sim.run_until(0.55)
+    src_node.send_app(sender, b"b")
+    sim.run_until(0.9)
+    assert sender.released_up_to == 2  # replicated + committed before the crash
+
+    # The duty ring hands h0 -> h1 at t=1.0; the primary dies right at
+    # that boundary, before any post-rotation append reaches it.
+    assert schedule.next_handoff(sim.now) == 1.0
+    sim.schedule(1.0, primary_node.crash)
+    sim.run_until(1.15)
+    assert schedule.on_duty(sim.now) == "h1"
+    src_node.send_app(sender, b"c")  # first post-rotation append: primary is dead
+    sim.run_until(4.0)  # detection (0.6s) + vote + promote + handover
+
+    # Failover landed: the replica owns the dangling tail.
+    assert sender.primary == "replica0"
+    assert replica.role is LoggerRole.PRIMARY
+    assert replica.primary_seq == 3
+    assert sender.released_up_to == 3
+
+    # I3 across the boundary: every rotating member's log is complete,
+    # and the logger the sender now trusts covers everything released.
+    ledger = InvariantLedger(cfg.heartbeat)
+    for host, server in rotating.items():
+        ledger.check_log_completeness(sim.now, host, server.inner.primary_seq, 3)
+    ledger.check_current_primary(
+        sim.now, "replica0", replica.primary_seq, sender.released_up_to
+    )
+    assert ledger.violations == []
+
+    # Service follows the duty ring, not the dead primary: a NACK that
+    # spans the boundary is served by whoever is on duty and deferred
+    # by the other member.
+    on_duty = schedule.on_duty(sim.now)
+    off_duty = "h0" if on_duty == "h1" else "h1"
+    nack = NackPacket(group="g", seqs=(2, 3))
+    served = rotating[on_duty].handle(nack, "rx", sim.now)
+    retrans = [a.packet for a in served
+               if isinstance(a, SendUnicast) and isinstance(a.packet, RetransPacket)]
+    assert sorted(p.seq for p in retrans) == [2, 3]
+    assert rotating[off_duty].handle(nack, "rx", sim.now) == []
+    assert rotating[off_duty].stats["deferred_off_duty"] == 1

@@ -192,6 +192,75 @@ class TestFailover:
         # r1 already holds everything: no tail to push, handover is instant.
         assert s.failover_phase is FailoverPhase.HEALTHY
 
+    def test_equal_prefixes_promote_lowest_token(self):
+        """Regression: the old `max()` over the vote dict promoted whoever
+        answered *first* on an exact tie.  Equal committed prefixes must
+        deterministically elect the lowest node id."""
+        s = self.make()
+        s.send(b"x", 0.0)
+        s.send(b"y", 0.1)
+        s.poll(2.5)
+        s.handle(ReplAckPacket(group="g", cum_seq=2), "r1", 2.55)  # r1 answers first
+        s.handle(ReplAckPacket(group="g", cum_seq=2), "r0", 2.6)
+        actions = s.poll(2.8)
+        promotes = [a for a in unicasts(actions) if isinstance(a.packet, PromotePacket)]
+        assert promotes[0].dest == "r0"
+        assert s.primary == "r0"
+
+    def test_higher_commit_breaks_equal_cum(self):
+        """Between equal received prefixes, the higher *committed* prefix
+        wins — promotion prefers commitment over mere receipt."""
+        s = self.make()
+        s.send(b"x", 0.0)
+        s.send(b"y", 0.1)
+        s.poll(2.5)
+        s.handle(ReplAckPacket(group="g", cum_seq=2, commit_seq=1), "r0", 2.55)
+        s.handle(ReplAckPacket(group="g", cum_seq=2, commit_seq=2), "r1", 2.6)
+        actions = s.poll(2.8)
+        promotes = [a for a in unicasts(actions) if isinstance(a.packet, PromotePacket)]
+        assert promotes[0].dest == "r1"
+
+    def test_promotion_advances_epoch_past_every_vote(self):
+        s = self.make()
+        s.send(b"x", 0.0)
+        s.poll(2.5)
+        s.handle(ReplAckPacket(group="g", cum_seq=1, log_epoch=3), "r0", 2.6)
+        s.handle(ReplAckPacket(group="g", cum_seq=1, log_epoch=1), "r1", 2.6)
+        actions = s.poll(2.8)
+        promotes = [a for a in unicasts(actions) if isinstance(a.packet, PromotePacket)]
+        assert promotes[0].packet.log_epoch == 4
+        assert s.log_epoch == 4
+        events = [a.event for a in actions
+                  if isinstance(a, Notify) and isinstance(a.event, PrimaryFailover)]
+        assert events[0].log_epoch == 4
+        assert events[0].high_seq == 1
+
+    def test_promote_packet_names_surviving_members(self):
+        s = self.make()
+        s.send(b"x", 0.0)
+        s.poll(2.5)
+        s.handle(ReplAckPacket(group="g", cum_seq=1), "r0", 2.6)
+        s.handle(ReplAckPacket(group="g", cum_seq=0), "r1", 2.6)
+        actions = s.poll(2.8)
+        promotes = [a for a in unicasts(actions) if isinstance(a.packet, PromotePacket)]
+        assert promotes[0].dest == "r0"
+        # r1 survives as a follower the new primary must adopt.
+        assert promotes[0].packet.members == "r1"
+
+    def test_stale_epoch_log_ack_never_releases(self):
+        """A revived pre-failover primary acking in its old term must not
+        move the release point, even if it spoofs the current address."""
+        s = self.make()
+        s.send(b"x", 0.0)
+        s.poll(2.5)
+        s.handle(ReplAckPacket(group="g", cum_seq=1), "r0", 2.6)
+        s.poll(2.8)
+        assert s.primary == "r0" and s.log_epoch == 2
+        s.handle(LogAckPacket(group="g", primary_seq=1, replica_seq=1, log_epoch=1), "r0", 3.0)
+        assert s.released_up_to == 0
+        s.handle(LogAckPacket(group="g", primary_seq=1, replica_seq=1, log_epoch=2), "r0", 3.1)
+        assert s.released_up_to == 1
+
     def test_vote_from_non_replica_ignored(self):
         s = self.make()
         s.send(b"x", 0.0)

@@ -14,14 +14,15 @@ from repro.chaos import Fault
 from repro.core.events import PrimaryFailover, PromotedToPrimary
 from repro.core.logger import LoggerRole
 from repro.simnet import DeploymentSpec, LbrmDeployment
+from repro.simnet.engine import ReferenceSimulator, Simulator
 
 from tests.integration._chaos import arm
 
 
-def deployment(n_replicas=2, seed=21):
+def deployment(n_replicas=2, seed=21, sim=None):
     return LbrmDeployment(DeploymentSpec(
         n_sites=3, receivers_per_site=2, n_replicas=n_replicas, seed=seed,
-    ))
+    ), sim=sim)
 
 
 def test_replication_keeps_replicas_current():
@@ -105,6 +106,58 @@ def test_no_failover_without_outstanding_data():
     dep.advance(10.0)  # idle: nothing unacked, no reason to fail over
     oracle.assert_ok()
     assert dep.source_node.events_of(PrimaryFailover) == []
+
+
+@pytest.mark.parametrize("engine", ["fast", "reference"])
+def test_equal_prefix_tie_breaks_to_lowest_node_id(engine):
+    """Both replicas are fully caught up when the primary dies mid-flight
+    with one packet unlogged: their votes tie exactly, and promotion must
+    pick replica0 (lowest node id) on either simulation engine."""
+    sim = Simulator() if engine == "fast" else ReferenceSimulator()
+    dep = deployment(sim=sim)
+    oracle = arm(dep, [Fault("crash", 0.69, "primary")])
+    dep.start()
+    dep.advance(0.2)
+    dep.send(b"a")
+    dep.advance(0.49)  # seq 1 fully replicated and released
+    dep.send(b"b")     # at 0.69+: the primary is already dead, seq 2 hangs
+    dep.advance(6.0)
+    oracle.assert_ok()
+    events = dep.source_node.events_of(PrimaryFailover)
+    assert len(events) == 1
+    assert events[0].new_primary == "replica0"
+    assert events[0].log_epoch == 2
+    assert dep.sender.primary == "replica0"
+    assert dep.replicas[0].role is LoggerRole.PRIMARY
+    assert dep.replicas[1].role is LoggerRole.REPLICA
+    # The handover completed: the tie winner now holds the dangling tail.
+    assert dep.replicas[0].primary_seq == 2
+    assert dep.sender.unacked == 0
+
+
+def test_promoted_primary_adopts_surviving_follower():
+    """After promotion the new primary adopts the other replica and
+    backfills it, so the commit point stays replicated (not a single
+    copy) across the failover."""
+    dep = deployment()
+    oracle = arm(dep, [Fault("crash", 0.69, "primary")])
+    dep.start()
+    dep.advance(0.2)
+    dep.send(b"a")
+    dep.advance(0.49)
+    dep.send(b"b")
+    dep.advance(6.0)
+    dep.send(b"c")
+    dep.advance(3.0)
+    oracle.assert_ok()
+    promoted = next(r for r in dep.replicas if r.role is LoggerRole.PRIMARY)
+    follower = next(r for r in dep.replicas if r.role is LoggerRole.REPLICA)
+    assert promoted.replication is not None
+    assert promoted.replication.members  # adopted the survivor
+    assert promoted.log_epoch == 2
+    assert follower.log_epoch == 2  # learned the new term from the pushes
+    assert follower.primary_seq == 3  # backfilled + kept current
+    assert dep.sender.released_up_to == 3
 
 
 def test_single_replica_failover():
