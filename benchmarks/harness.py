@@ -39,8 +39,9 @@ import time
 from pathlib import Path
 
 from repro.core import packets
-from repro.core.config import LbrmConfig
+from repro.core.config import LbrmConfig, LoggerConfig, ReceiverConfig
 from repro.core.actions import SendMulticast, SendUnicast
+from repro.core.events import RecoveryComplete
 from repro.core.logger import LoggerRole, LogServer
 from repro.core.packets import NackPacket
 from repro.scale.deploy import ScaleSpec
@@ -52,6 +53,7 @@ __all__ = [
     "SCENARIOS",
     "SCALE_SCENARIOS",
     "AIO_SCENARIOS",
+    "HIERARCHY_SCENARIOS",
     "ALL_SCENARIOS",
     "ENGINES",
     "aio_available",
@@ -491,7 +493,137 @@ AIO_SCENARIOS = {
     "aio_transport_blast": scenario_aio_transport_blast,
 }
 
-ALL_SCENARIOS = {**SCENARIOS, **SCALE_SCENARIOS, **AIO_SCENARIOS}
+
+# -- hierarchy scenarios -------------------------------------------------------
+#
+# The ``--hierarchy`` tier measures what DESIGN §11's k-level repair
+# trees buy at scale: the *recovery-latency CDF* when a widespread loss
+# forces thousands of site loggers to fetch the same packet upstream.
+# Flat (depth=2), every repair unicast leaves through the primary
+# site's tail circuit — a congested T1 serializes them and the tail of
+# the CDF stretches to seconds.  k-level (depth=3), each interior hub
+# serves its own subtree through its *own* tail circuit, so repair
+# serialization is spread across ~n_sites/fanout links in parallel.
+# Fast engine only, like ``--scale``: the population is the point, and
+# the engines' equivalence is established elsewhere.
+
+
+def _hierarchy_cdf_params(tier: str) -> dict:
+    if tier == "hierarchy":
+        # 10,000 sites, half of them behind a shared outage: the flat
+        # primary must push 5,000 repairs down one T1 (~0.5 ms each on
+        # the wire), the k-level tree spreads them over ~50 hub tails.
+        return {"n_sites": 10000, "receivers_per_site": 1, "fanout": 100,
+                "victims": 5000, "tail_bandwidth": 1_536_000.0, "payload": 64,
+                "burst": 0.2, "drain": 20.0}
+    return {"n_sites": 120, "receivers_per_site": 1, "fanout": 12,
+            "victims": 60, "tail_bandwidth": 256_000.0, "payload": 64,
+            "burst": 0.2, "drain": 20.0}
+
+
+def _percentile(sorted_values: list[float], q: float) -> float:
+    if not sorted_values:
+        return 0.0
+    index = min(len(sorted_values) - 1, int(q * len(sorted_values)))
+    return sorted_values[index]
+
+
+def _recovery_cdf_run(depth: int, p: dict, mode: "_EngineMode") -> dict:
+    config = LbrmConfig(
+        receiver=ReceiverConfig(max_nack_retries=20),
+        logger=LoggerConfig(max_upstream_retries=40),
+    )
+    dep = LbrmDeployment(
+        DeploymentSpec(
+            n_sites=p["n_sites"],
+            receivers_per_site=p["receivers_per_site"],
+            depth=depth,
+            fanout=p["fanout"],
+            tail_bandwidth=p["tail_bandwidth"],
+            config=config,
+            seed=1995,
+        ),
+        sim=mode.make_sim(),
+    )
+    mode.configure(dep)
+    payload = b"x" * p["payload"]
+    dep.start()
+    dep.advance(0.5)
+    dep.send(payload)  # warm-up: everyone synced, loggers hold seq 1
+    dep.advance(2.0)
+    victims = [f"site{i}" for i in range(1, p["victims"] + 1)]
+    dep.burst_sites(victims, p["burst"])
+    dep.send(payload)  # the lost update: seq 2 misses every victim site
+    dep.advance(p["drain"])
+    latencies = sorted(
+        event.latency
+        for node in dep.receiver_nodes
+        for event in node.events_of(RecoveryComplete)
+    )
+    expected = p["victims"] * p["receivers_per_site"]
+    assert dep.receivers_missing() == 0, (
+        f"depth={depth}: {dep.receivers_missing()} holes never recovered"
+    )
+    assert len(latencies) >= expected, (
+        f"depth={depth}: only {len(latencies)} recoveries, expected >= {expected}"
+    )
+    return {
+        "depth": depth,
+        "recoveries": len(latencies),
+        "p50": round(_percentile(latencies, 0.50), 6),
+        "p90": round(_percentile(latencies, 0.90), 6),
+        "p95": round(_percentile(latencies, 0.95), 6),
+        "p99": round(_percentile(latencies, 0.99), 6),
+        "max": round(latencies[-1], 6) if latencies else 0.0,
+        "delivered": dep.network.stats["delivered"],
+        "sim_events": dep.sim.processed,
+    }
+
+
+def scenario_hierarchy_recovery_cdf(tier: str, engine: str) -> dict:
+    """Recovery-latency CDF under a shared outage: flat vs k-level tree.
+
+    The acceptance claim (ISSUE 10): at 10k+ sites the k-level tree
+    strictly dominates the flat layout at p50 and p95.  Detection time
+    (the heartbeat that reveals the hole) is identical in both runs, so
+    the difference is pure repair-path serialization.
+    """
+    _require_fast("hierarchy_recovery_cdf", engine)
+    p = _hierarchy_cdf_params(tier)
+    with _EngineMode(engine) as mode:
+        t0 = time.perf_counter()
+        flat = _recovery_cdf_run(2, p, mode)
+        klevel = _recovery_cdf_run(3, p, mode)
+        wall = time.perf_counter() - t0
+    for q in ("p50", "p95", "p99"):
+        assert klevel[q] < flat[q], (
+            f"k-level does not dominate flat at {q}: "
+            f"klevel={klevel[q]} flat={flat[q]}"
+        )
+    events = flat["delivered"] + klevel["delivered"]
+    return {
+        "wall_s": wall,
+        "events": events,
+        "events_per_sec": events / wall,
+        "sim_events": flat["sim_events"] + klevel["sim_events"],
+        "peak_queue_depth": 0,
+        "cdf": {"flat": flat, "klevel": klevel},
+        "speedup_p95": round(flat["p95"] / klevel["p95"], 3),
+        "checks": {
+            "flat_recoveries": flat["recoveries"],
+            "klevel_recoveries": klevel["recoveries"],
+            "klevel_dominates_p50": klevel["p50"] < flat["p50"],
+            "klevel_dominates_p95": klevel["p95"] < flat["p95"],
+        },
+        "params": p,
+    }
+
+
+HIERARCHY_SCENARIOS = {
+    "hierarchy_recovery_cdf": scenario_hierarchy_recovery_cdf,
+}
+
+ALL_SCENARIOS = {**SCENARIOS, **SCALE_SCENARIOS, **AIO_SCENARIOS, **HIERARCHY_SCENARIOS}
 
 
 # -- running & reporting -----------------------------------------------------

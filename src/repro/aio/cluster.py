@@ -31,7 +31,9 @@ from repro.aio.groupmap import GroupDirectory
 from repro.aio.node import AioNode, addr_token, parse_token
 from repro.core.config import DiscoveryConfig, LbrmConfig
 from repro.core.discovery import DiscoveryClient
+from repro.core.errors import ConfigError
 from repro.core.events import DiscoveryExhausted, Event, LoggerDiscovered
+from repro.core.hierarchy import LoggerTree, build_tree
 from repro.core.logger import LoggerRole, LogServer
 from repro.core.receiver import LbrmReceiver
 from repro.core.retranschannel import RetransChannelConfig
@@ -51,6 +53,8 @@ class AioCluster:
         n_receivers: int = 2,
         n_replicas: int = 0,
         n_secondaries: int = 0,
+        depth: int = 2,
+        fanout: int = 8,
         use_discovery: bool = False,
         discovery: DiscoveryConfig | None = None,
         enable_statack: bool = False,
@@ -78,6 +82,17 @@ class AioCluster:
         self._n_receivers = n_receivers
         self._n_replicas = n_replicas
         self._n_secondaries = n_secondaries
+        # DESIGN §11: depth>=3 inserts interior repair hubs between the
+        # site secondaries (the tree's leaves) and the primary.  The aio
+        # tree is *static* — built once from the balanced contiguous
+        # construction; runtime re-scoring is a simulator feature (real
+        # deployments would re-score from the same TWaitEstimator data).
+        if depth < 2:
+            raise ConfigError(f"depth must be >= 2, got {depth}")
+        if depth > 2 and n_secondaries < 1:
+            raise ConfigError("depth > 2 requires n_secondaries >= 1")
+        self._depth = depth
+        self._fanout = fanout
         self._use_discovery = use_discovery
         self._discovery_config = discovery or DiscoveryConfig()
         self._enable_statack = enable_statack
@@ -89,6 +104,10 @@ class AioCluster:
         self.replica_nodes: list[AioNode] = []
         self.secondaries: list[LogServer] = []
         self.secondary_nodes: list[AioNode] = []
+        self.interior_loggers: list[LogServer] = []
+        self.interior_nodes: list[AioNode] = []
+        self._tree: LoggerTree | None = None
+        self._addr_of: dict[str, object] = {}
         self.sender: LbrmSender | None = None
         self.sender_node: AioNode | None = None
         self.receivers: list[LbrmReceiver] = []
@@ -128,16 +147,58 @@ class AioCluster:
         self.primary_node.machines.append(self.primary)
         await self.primary_node.run_machine(self.primary.start, self.primary_node.now)
 
+        # Interior repair hubs (depth >= 3), built top-down so each
+        # level's parents are already bound when its children start.
+        # Tree nodes are named abstractly ("leaf{i}", "hub{level}-{k}-
+        # logger") and mapped to socket addresses as the nodes bind.
+        self._addr_of = {"primary": self.primary_node.address}
+        if self._depth > 2:
+            self._tree = build_tree(
+                "primary",
+                [f"leaf{i}" for i in range(self._n_secondaries)],
+                depth=self._depth,
+                fanout=self._fanout,
+            )
+            for level in range(1, self._depth - 1):
+                for name in self._tree.at_level(level):
+                    node = AioNode(
+                        directory=self.directory, interface=self._interface, **self._node_kwargs
+                    )
+                    await node.start()
+                    parent_name = self._tree.parent(name)
+                    assert parent_name is not None
+                    hub = LogServer(
+                        self.group, addr_token=node.token, config=self.config,
+                        role=LoggerRole.SECONDARY, level=level,
+                        parent=self._addr_of[parent_name],
+                        # Hub requesters are remote secondaries; a
+                        # TTL-scoped re-multicast cannot reach them.
+                        site_scoped_repairs=False,
+                    )
+                    node.machines.append(hub)
+                    await node.run_machine(hub.start, node.now)
+                    self._addr_of[name] = node.address
+                    self.interior_loggers.append(hub)
+                    self.interior_nodes.append(node)
+
         # Site secondaries: each joins the group, logs the stream, and
-        # serves nearby receivers; its parent (escalation target) is the
-        # primary's unicast address.
+        # serves nearby receivers; its parent (escalation target) is its
+        # tree parent's address — the primary in the flat layout.
         for i in range(self._n_secondaries):
             node = AioNode(directory=self.directory, interface=self._interface, **self._node_kwargs)
             await node.start()
+            if self._tree is not None:
+                parent_name = self._tree.parent(f"leaf{i}")
+                assert parent_name is not None
+                parent_address = self._addr_of[parent_name]
+                level = self._depth - 1
+            else:
+                parent_address = self.primary_node.address
+                level = 1
             secondary = LogServer(
                 self.group, addr_token=node.token, config=self.config,
-                role=LoggerRole.SECONDARY, level=1,
-                parent=self.primary_node.address,
+                role=LoggerRole.SECONDARY, level=level,
+                parent=parent_address,
             )
             node.machines.append(secondary)
             await node.run_machine(secondary.start, node.now)
@@ -164,6 +225,8 @@ class AioCluster:
             replica.set_source(self.sender_node.address)
         for secondary in self.secondaries:
             secondary.set_source(self.sender_node.address)
+        for hub in self.interior_loggers:
+            hub.set_source(self.sender_node.address)
 
         for i in range(self._n_receivers):
             node = AioNode(directory=self.directory, interface=self._interface, **self._node_kwargs)
@@ -189,12 +252,19 @@ class AioCluster:
             self.receiver_nodes.append(node)
 
     def _static_chain(self, receiver_index: int) -> tuple:
-        """Recovery chain for one receiver: its site logger, then the
-        primary (round-robin assignment across secondaries)."""
+        """Recovery chain for one receiver: its site logger, then every
+        interior hub on the path up, then the primary (round-robin
+        assignment across secondaries)."""
         assert self.primary_node is not None
         if not self.secondary_nodes:
             return (self.primary_node.address,)
-        site = self.secondary_nodes[receiver_index % len(self.secondary_nodes)]
+        index = receiver_index % len(self.secondary_nodes)
+        site = self.secondary_nodes[index]
+        if self._tree is not None:
+            ancestors = tuple(
+                self._addr_of[name] for name in self._tree.chain(f"leaf{index}")[1:]
+            )
+            return (site.address, *ancestors)
         return (site.address, self.primary_node.address)
 
     def _make_discovery_handler(self, receiver: LbrmReceiver):
@@ -252,6 +322,7 @@ class AioCluster:
         nodes.extend(self.replica_nodes)
         if self.primary_node is not None:
             nodes.append(self.primary_node)
+        nodes.extend(self.interior_nodes)
         nodes.extend(self.secondary_nodes)
         if self.sender_node is not None:
             nodes.append(self.sender_node)

@@ -187,6 +187,9 @@ def build_bench_parser(parser: argparse.ArgumentParser | None = None) -> argpars
     tier.add_argument("--scale", dest="tier", action="store_const", const="scale",
                       help="aggregate-scale scenarios (10^5-10^6 modeled "
                            "receivers via repro.scale); fast engine only")
+    tier.add_argument("--hierarchy", dest="tier", action="store_const", const="hierarchy",
+                      help="k-level repair-tree scenarios (recovery-latency CDF, "
+                           "flat vs depth-3 at 10k sites); fast engine only")
     tier.add_argument("--aio", dest="tier", action="store_const", const="aio",
                       help="live-UDP loopback transport tier: bundled zero-copy "
                            "fast path (fast) vs the pre-bundling transport "
@@ -237,6 +240,11 @@ def run_bench(args: argparse.Namespace) -> int:
         if not scenario_map:
             print("bench: this harness defines no SCALE_SCENARIOS", file=sys.stderr)
             return 1
+    elif args.tier == "hierarchy":
+        scenario_map = getattr(harness, "HIERARCHY_SCENARIOS", {})
+        if not scenario_map:
+            print("bench: this harness defines no HIERARCHY_SCENARIOS", file=sys.stderr)
+            return 1
     elif args.tier == "aio":
         scenario_map = getattr(harness, "AIO_SCENARIOS", {})
         if not scenario_map:
@@ -267,9 +275,9 @@ def run_bench(args: argparse.Namespace) -> int:
             print(f"bench: unknown scenario(s) {unknown}; "
                   f"have {sorted(scenario_map)}", file=sys.stderr)
             return 2
-    if args.tier == "scale":
+    if args.tier in ("scale", "hierarchy"):
         if args.engine == "reference":
-            print("bench: scale scenarios run the fast engine only", file=sys.stderr)
+            print(f"bench: {args.tier} scenarios run the fast engine only", file=sys.stderr)
             return 2
         engines = ["fast"]
     else:

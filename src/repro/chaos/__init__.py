@@ -17,6 +17,10 @@ inside individual tests into one reusable layer:
 * :mod:`repro.chaos.campaign` — the randomized conformance campaign
   behind ``repro chaos``: seeded schedule sampling, runs under both
   engines, reproducer seeds and schedule minimization on violation.
+* :mod:`repro.chaos.hierarchy` — the same conformance contract on
+  k-level repair trees behind ``repro hierarchy-chaos``: hub crashes
+  and mid-epoch ``reparent`` mutations, with cross-engine digests that
+  fold in the tree surgery (DESIGN §11).
 * :mod:`repro.chaos.invariants` — :class:`InvariantLedger`, the
   transport-agnostic judgement shared by both oracles.
 * :mod:`repro.chaos.live` — :class:`LiveOracle`, the same invariants
@@ -28,6 +32,7 @@ inside individual tests into one reusable layer:
 
 from repro.chaos.campaign import run_campaign, sample_schedule
 from repro.chaos.controller import ChaosController
+from repro.chaos.hierarchy import run_hierarchy_campaign, sample_hierarchy_schedule
 from repro.chaos.invariants import InvariantLedger, Violation
 from repro.chaos.live import LiveOracle
 from repro.chaos.oracle import ChaosOracle
@@ -46,6 +51,8 @@ __all__ = [
     "enumerate_crash_points",
     "run_campaign",
     "run_crash_case",
+    "run_hierarchy_campaign",
     "run_sweep_campaign",
+    "sample_hierarchy_schedule",
     "sample_schedule",
 ]

@@ -8,7 +8,12 @@ the running simulation:
 * partitions become :class:`~repro.simnet.loss.BurstLoss` windows
   layered over the site's existing tail-circuit loss models;
 * packet faults become one :class:`~repro.chaos.schedule.PacketChaos`
-  installed as the network's ``chaos`` hook.
+  installed as the network's ``chaos`` hook;
+* tree faults become calls into the deployment's
+  :class:`~repro.simnet.hierarchy.HierarchyRuntime` — a mid-epoch
+  ``reparent`` moves the target logger to its best live alternative
+  parent (a no-op, uncounted, on flat deployments or when no
+  alternative exists, so the same schedule stays valid everywhere).
 
 The controller also keeps the bookkeeping the oracle and the campaign
 read back: every applied fault bumps the ``chaos.faults_injected``
@@ -48,6 +53,8 @@ class ChaosController:
         sim = self.deployment.sim
         for fault in self.schedule.node_faults:
             sim.schedule(fault.at, self._apply_node_fault, fault)
+        for fault in self.schedule.tree_faults:
+            sim.schedule(fault.at, self._apply_tree_fault, fault)
         for site_name, windows in self.schedule.partition_windows().items():
             self._install_partition(site_name, windows)
         chaos = self.schedule.packet_chaos()
@@ -73,6 +80,14 @@ class ChaosController:
         else:  # skew
             self._apply_skew(node, fault.amount)
         self._note(fault)
+
+    def _apply_tree_fault(self, fault: Fault) -> None:
+        hierarchy = self.deployment.hierarchy
+        if hierarchy is None:
+            return  # flat deployment: no tree to mutate
+        move = hierarchy.force_reparent(fault.target)
+        if move is not None:
+            self._note(fault)
 
     def _apply_skew(self, node: SimNode, amount: float) -> None:
         node.clock_skew = amount

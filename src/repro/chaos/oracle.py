@@ -270,6 +270,7 @@ class ChaosOracle:
         high = sender.seq
         loggers = list(zip(dep.site_loggers, dep.site_logger_nodes))
         loggers.extend(zip(dep.regional_loggers, dep.regional_logger_nodes))
+        loggers.extend(zip(dep.interior_loggers, dep.interior_logger_nodes))
         for machine, node in loggers:
             if not node.alive:
                 continue

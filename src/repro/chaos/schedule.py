@@ -41,6 +41,14 @@ every destination; active for ``duration`` seconds from ``at``):
 * ``reorder`` — each matching delivery is delayed by ``amount`` seconds,
   so it lands behind packets sent after it.
 
+Tree faults (``target`` = a logger in a k-level deployment, DESIGN §11):
+
+* ``reparent`` — a mid-epoch tree mutation: move the target logger to
+  its best live alternative parent via
+  :meth:`~repro.simnet.hierarchy.HierarchyRuntime.force_reparent`.
+  On a flat (depth=2) deployment, or when no live alternative parent
+  exists, the fault is a no-op and does not count as injected.
+
 Packet faults draw from a :class:`random.Random` derived from the
 schedule's ``seed``, so a schedule is one value: same schedule, same
 deployment seed, same run — bit for bit.
@@ -60,7 +68,8 @@ __all__ = ["Fault", "FaultSchedule", "PacketChaos", "DUPLICATE_GAP"]
 NODE_KINDS = frozenset({"crash", "restart", "pause", "resume", "skew"})
 SITE_KINDS = frozenset({"partition", "heal"})
 PACKET_KINDS = frozenset({"corrupt", "duplicate", "reorder"})
-ALL_KINDS = NODE_KINDS | SITE_KINDS | PACKET_KINDS
+TREE_KINDS = frozenset({"reparent"})
+ALL_KINDS = NODE_KINDS | SITE_KINDS | PACKET_KINDS | TREE_KINDS
 
 # A duplicate's second copy arrives this long after the original: late
 # enough to be a distinct delivery event, early enough to stay inside
@@ -85,7 +94,7 @@ class Fault:
             raise ValueError(f"fault time must be >= 0, got {self.at}")
         if self.duration < 0:
             raise ValueError(f"fault duration must be >= 0, got {self.duration}")
-        if self.kind in NODE_KINDS | SITE_KINDS and not self.target:
+        if self.kind in NODE_KINDS | SITE_KINDS | TREE_KINDS and not self.target:
             raise ValueError(f"{self.kind!r} fault needs a target")
         if self.kind in {"corrupt", "duplicate"} and not 0.0 <= self.amount <= 1.0:
             raise ValueError(f"{self.kind!r} amount is a probability, got {self.amount}")
@@ -137,6 +146,10 @@ class FaultSchedule:
     @property
     def packet_faults(self) -> tuple[Fault, ...]:
         return self.of_kinds(PACKET_KINDS)
+
+    @property
+    def tree_faults(self) -> tuple[Fault, ...]:
+        return self.of_kinds(TREE_KINDS)
 
     def partition_windows(self) -> dict[str, list[tuple[float, float]]]:
         """Per-site ``(start, end)`` outage windows.

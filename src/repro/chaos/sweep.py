@@ -53,6 +53,7 @@ from repro.core.config import (
     ReceiverConfig,
     ReplicationConfig,
 )
+from repro.core.logger import LoggerRole
 from repro.simnet.deploy import DeploymentSpec, LbrmDeployment
 from repro.simnet.engine import ReferenceSimulator, Simulator
 from repro.simnet.loss import BernoulliLoss
@@ -124,6 +125,12 @@ TIERS: dict[str, SweepShape] = {
 #: has almost certainly completed (detection is bounded by
 #: 2 x primary_timeout + failover_wait = 1.4 s under ``sweep_config``).
 DOUBLE_OFFSETS = (0.9, 1.6)
+
+#: When the ``--readopt`` variant wipe-restarts a follower: fixed at
+#: mid active window so pushes keep flowing afterwards — the restarted
+#: follower's regressed acknowledgement is what triggers re-adoption
+#: and backfill, and that ack rides on the next push it receives.
+READOPT_WIPE_AT = 1.0
 
 
 # -- recording engines ------------------------------------------------------
@@ -232,6 +239,25 @@ def _crash_current_primary(dep: LbrmDeployment) -> None:
             return
 
 
+def _wipe_restart_replica(dep: LbrmDeployment) -> None:
+    """Wipe-restart the first live *follower* (the readopt variant).
+
+    The target must still be in the replica role and must not be the
+    node the sender currently trusts — wiping a promoted primary would
+    simulate losing the only authoritative copy, which is outside the
+    durable-log model this sweep proves things about.
+    """
+    assert dep.sender is not None
+    current = dep.sender.primary
+    for machine, node in zip(dep.replicas, dep.replica_nodes):
+        if not node.alive or node.name == current:
+            continue
+        if machine.role is not LoggerRole.REPLICA:
+            continue
+        machine.wipe_restart(dep.sim.now)
+        return
+
+
 def run_crash_case(
     shape: SweepShape,
     seed: int,
@@ -239,6 +265,7 @@ def run_crash_case(
     engine: str = "fast",
     config: LbrmConfig | None = None,
     second_crash_at: float | None = None,
+    wipe_at: float | None = None,
 ) -> CrashOutcome:
     """One replay: crash the primary at ``crash_at``, grade with the oracle."""
     config = config or sweep_config()
@@ -251,6 +278,8 @@ def run_crash_case(
     sim.schedule(crash_at, dep.primary_node.crash)
     if second_crash_at is not None:
         sim.schedule(second_crash_at, _crash_current_primary, dep)
+    if wipe_at is not None:
+        sim.schedule(wipe_at, _wipe_restart_replica, dep)
     oracle = ChaosOracle(dep)
     oracle.install()
     _drive(dep, shape)
@@ -300,16 +329,22 @@ def run_sweep_campaign(
     engines: tuple[str, ...] = ("fast", "reference"),
     double: bool = False,
     max_points: int | None = None,
+    readopt: bool = False,
 ) -> dict:
     """Enumerate crash points and replay each under every engine.
 
     Returns the (JSON-stable) report dict.  ``double=True`` runs the
     double-failure variant: two replicas with ``min_replicas_acked=2``
     and a second, dynamically targeted crash ``DOUBLE_OFFSETS`` after
-    each point.
+    each point.  ``readopt=True`` additionally wipe-restarts one
+    follower at ``READOPT_WIPE_AT`` in every replay: the commit point
+    must never keep counting the vanished prefix (the stale
+    FollowerState re-adoption path), so it also runs with two replicas
+    and ``min_replicas_acked=2`` — the surviving follower keeps every
+    committed packet reachable.
     """
     shape = TIERS[tier]
-    if double:
+    if double or readopt:
         shape = SweepShape(
             n_sites=shape.n_sites,
             receivers_per_site=shape.receivers_per_site,
@@ -317,7 +352,8 @@ def run_sweep_campaign(
             packets=shape.packets,
             rx_loss=shape.rx_loss,
         )
-    config = sweep_config(min_replicas_acked=2 if double else 1)
+    config = sweep_config(min_replicas_acked=2 if (double or readopt) else 1)
+    wipe_at = round(READOPT_WIPE_AT, _ROUND) if readopt else None
 
     per_engine_points = {
         engine: enumerate_crash_points(shape, seed, engine, config) for engine in engines
@@ -346,7 +382,9 @@ def run_sweep_campaign(
             second = None if offset is None else round(crash_at + offset, _ROUND)
             per_engine = {}
             for engine in engines:
-                outcome = run_crash_case(shape, seed, crash_at, engine, config, second)
+                outcome = run_crash_case(
+                    shape, seed, crash_at, engine, config, second, wipe_at=wipe_at
+                )
                 per_engine[engine] = {
                     "digest": outcome.digest,
                     "promoted": outcome.promoted,
@@ -358,6 +396,7 @@ def run_sweep_campaign(
             case = {
                 "crash_at": crash_at,
                 "second_crash_at": second,
+                "wipe_at": wipe_at,
                 "engines": per_engine,
                 "engines_agree": engines_agree,
             }
@@ -369,6 +408,7 @@ def run_sweep_campaign(
                     "reproducer": (
                         f"repro failover-sweep --{tier} --seed {seed}"
                         + (" --double" if double else "")
+                        + (" --readopt" if readopt else "")
                     ),
                 })
     if not points_agree:
@@ -383,6 +423,8 @@ def run_sweep_campaign(
             "tier": tier,
             "engines": list(engines),
             "double": double,
+            "readopt": readopt,
+            "wipe_at": wipe_at,
             "shape": {
                 "n_sites": shape.n_sites,
                 "receivers_per_site": shape.receivers_per_site,
@@ -421,6 +463,10 @@ def build_sweep_parser(parser: argparse.ArgumentParser) -> None:
                         help="simulation engine(s) to replay under (default both)")
     parser.add_argument("--double", action="store_true",
                         help="double-failure variant: also crash the promoted primary")
+    parser.add_argument("--readopt", action="store_true",
+                        help="follower-restart variant: wipe one follower's state "
+                             "mid-stream in every replay (exercises stale-state "
+                             "re-adoption and backfill)")
     parser.add_argument("--max-points", type=int, default=None, metavar="N",
                         help="cap the replayed points at N (evenly spaced; "
                              "the report records the truncation)")
@@ -433,7 +479,7 @@ def run_sweep(args: argparse.Namespace) -> int:
     engines = ("fast", "reference") if args.engine == "both" else (args.engine,)
     report = run_sweep_campaign(
         args.seed, tier=args.tier, engines=engines, double=args.double,
-        max_points=args.max_points,
+        max_points=args.max_points, readopt=args.readopt,
     )
     text = json.dumps(report, sort_keys=True, indent=2)
     if args.out:
@@ -449,6 +495,7 @@ def run_sweep(args: argparse.Namespace) -> int:
             f"failover sweep: seed={meta['seed']} tier={meta['tier']} "
             f"engines={','.join(meta['engines'])}"
             + (" double" if meta["double"] else "")
+            + (" readopt" if meta["readopt"] else "")
         )
         print(
             f"  points={totals['points']} replays={totals['replays']} "

@@ -15,6 +15,9 @@ Commands
                  and write machine-readable ``BENCH_*.json`` results.
 ``chaos``      — run the randomized fault-injection conformance campaign
                  (seeded schedules, invariant oracle, reproducer seeds).
+``hierarchy-chaos`` — the same conformance contract on k-level repair
+                 trees: hub crashes, mid-epoch re-parenting mutations,
+                 cross-engine digests that include the tree surgery.
 ``failover-sweep`` — exhaustively crash the primary at every distinct
                  schedule point and grade each replay (zero-loss proof).
 ``aio-smoke``  — run a real-UDP cluster (site secondary + replica) under
@@ -191,6 +194,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     build_chaos_parser(chaos)
     chaos.set_defaults(fn=run_chaos)
+    from repro.chaos.hierarchy import build_hierarchy_chaos_parser, run_hierarchy_chaos
+
+    hierarchy_chaos = sub.add_parser(
+        "hierarchy-chaos",
+        help="chaos campaign on k-level repair trees (hub crashes, reparent mutations)",
+    )
+    build_hierarchy_chaos_parser(hierarchy_chaos)
+    hierarchy_chaos.set_defaults(fn=run_hierarchy_chaos)
     from repro.chaos.sweep import build_sweep_parser, run_sweep
 
     sweep = sub.add_parser(

@@ -22,11 +22,21 @@ from repro.core.actions import (
 from repro.core.config import (
     DiscoveryConfig,
     HeartbeatConfig,
+    HierarchyConfig,
     LbrmConfig,
     LoggerConfig,
     ReceiverConfig,
     ReplicationConfig,
     StatAckConfig,
+)
+from repro.core.hierarchy import (
+    LinkEstimate,
+    LoggerTree,
+    Reparent,
+    TreeManager,
+    build_tree,
+    interior_name,
+    plan_level_sizes,
 )
 from repro.core.errors import (
     ConfigError,
@@ -73,11 +83,20 @@ __all__ = [
     # config
     "DiscoveryConfig",
     "HeartbeatConfig",
+    "HierarchyConfig",
     "LbrmConfig",
     "LoggerConfig",
     "ReceiverConfig",
     "ReplicationConfig",
     "StatAckConfig",
+    # hierarchy
+    "LinkEstimate",
+    "LoggerTree",
+    "Reparent",
+    "TreeManager",
+    "build_tree",
+    "interior_name",
+    "plan_level_sizes",
     # errors
     "ConfigError",
     "DecodeError",

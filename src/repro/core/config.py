@@ -28,6 +28,7 @@ __all__ = [
     "StatAckConfig",
     "ReplicationConfig",
     "DiscoveryConfig",
+    "HierarchyConfig",
     "LbrmConfig",
 ]
 
@@ -236,6 +237,40 @@ class DiscoveryConfig:
 
 
 @dataclass(frozen=True)
+class HierarchyConfig:
+    """k-level repair-tree maintenance (DESIGN §11).
+
+    ``rescore_interval`` is the tree re-scoring cadence — one pass per
+    heartbeat epoch (the paper's ``h_min``) by default, so tree shape
+    reacts on the same timescale as liveness detection.
+    ``saturation_outstanding`` is the outstanding-upstream-repair queue
+    depth at which an interior logger is treated as saturated and its
+    children become eligible for re-parenting.  ``serve_cost`` is the
+    per-child serialization term of the makespan objective (seconds a
+    parent spends per child's repair batch before the next child's can
+    start).  ``hysteresis`` is the stickiness factor: a child only moves
+    for cost reasons when the alternative beats the incumbent by this
+    multiple.  ``link_alpha``/``link_max_widen`` parameterize the
+    per-link repair-RTT estimator (same EWMA family as §2.3.2).
+    """
+
+    rescore_interval: float = 0.25
+    saturation_outstanding: int = 8
+    serve_cost: float = 0.0005
+    hysteresis: float = 1.5
+    link_alpha: float = 0.125
+    link_max_widen: float = 16.0
+
+    def __post_init__(self) -> None:
+        _require(self.rescore_interval > 0, "rescore_interval must be positive")
+        _require(self.saturation_outstanding >= 1, "saturation_outstanding must be >= 1")
+        _require(self.serve_cost >= 0, "serve_cost must be >= 0")
+        _require(self.hysteresis >= 1.0, "hysteresis must be >= 1")
+        _require(0.0 < self.link_alpha <= 1.0, "link_alpha must be in (0, 1]")
+        _require(self.link_max_widen >= 1.0, "link_max_widen must be >= 1")
+
+
+@dataclass(frozen=True)
 class LbrmConfig:
     """Aggregate configuration for a full LBRM deployment."""
 
@@ -245,6 +280,7 @@ class LbrmConfig:
     statack: StatAckConfig = field(default_factory=StatAckConfig)
     replication: ReplicationConfig = field(default_factory=ReplicationConfig)
     discovery: DiscoveryConfig = field(default_factory=DiscoveryConfig)
+    hierarchy: HierarchyConfig = field(default_factory=HierarchyConfig)
 
     @classmethod
     def paper_defaults(cls) -> "LbrmConfig":

@@ -58,10 +58,20 @@ class EwmaEstimator:
         self._samples += 1
         return self._estimate
 
-    def reset(self, value: float) -> None:
-        """Hard-set the estimate (e.g. epoch restart with prior knowledge)."""
+    def reset(self, value: float, *, samples: int = 0) -> None:
+        """Hard-set the estimate (e.g. epoch restart with prior knowledge).
+
+        ``samples`` lets the caller record how much evidence the new
+        value represents (0 = a guess, 1 = one real measurement).
+        """
         self._estimate = value
-        self._samples = 0
+        self._samples = samples
+
+
+#: Floor on the EWMA base: a zero-RTT first sample must never collapse
+#: the window to 0 — the 2×t_wait cap would then pin every future
+#: sample, and hence t_wait itself, at 0 forever.
+_MIN_BASE = 1e-6
 
 
 class TWaitEstimator:
@@ -76,6 +86,19 @@ class TWaitEstimator:
     by ``max_widen``), and every clean RTT sample halves the boost's
     excess — so ``t_wait`` recovers once a loss episode ends instead of
     staying inflated forever.
+
+    Two hardening rules (property-tested):
+
+    * The **first** measured RTT replaces the configured seed outright
+      and resets the boost — EWMA-blending would keep a bad seed's bias
+      for ~1/α samples, and any pre-measurement ``widen`` loop was a
+      search device (no ACK could have arrived yet), not loss evidence.
+    * While a widening episode decays, the decay never undercuts fresh
+      evidence: after a sample is folded in, ``t_wait`` still covers
+      the (capped) arrival time just observed, else the next collection
+      round would be a guaranteed miss and the episode would re-widen
+      in oscillation.  The ``max_widen`` safety bound takes precedence,
+      and steady state (boost already 1) keeps the pure paper EWMA.
     """
 
     def __init__(
@@ -112,12 +135,27 @@ class TWaitEstimator:
         """Fold in the arrival time (relative to send) of a packet's last ACK."""
         if rtt_new < 0:
             raise ValueError(f"rtt sample must be non-negative, got {rtt_new}")
-        self._ewma.update(min(rtt_new, self.cap))
+        capped = min(rtt_new, self.cap)
+        if self._ewma.samples == 0:
+            # Bootstrap: the first real measurement replaces the guess
+            # and ends any blind pre-measurement widening episode.
+            self._ewma.reset(max(capped, _MIN_BASE), samples=1)
+            self._boost = 1.0
+            return self.t_wait
+        self._ewma.update(capped)
         # A fresh sample is evidence the loss episode has (at least
-        # partly) passed: decay the widening toward 1 geometrically.
+        # partly) passed: decay the widening toward 1 geometrically —
+        # but the decay may not undercut the evidence just folded in
+        # (an ACK observed at `capped` needs a window of at least that,
+        # or the next collection round is a guaranteed miss and the
+        # episode re-widens in oscillation).  Steady state (no boost)
+        # is untouched: pure paper EWMA.
+        decaying = self._boost > 1.0
         self._boost = 1.0 + (self._boost - 1.0) * 0.5
         if self._boost < 1.0 + 1e-9:
             self._boost = 1.0
+        if decaying and self._ewma.estimate * self._boost < capped:
+            self._boost = min(capped / self._ewma.estimate, self._max_widen)
         return self.t_wait
 
     def widen(self, factor: float = 2.0) -> float:

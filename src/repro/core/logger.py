@@ -85,6 +85,13 @@ class LogServer(ProtocolMachine):
         Replica addresses (primary only).
     level:
         Hierarchy depth advertised in discovery replies (0 = primary).
+    site_scoped_repairs:
+        When True (the default), a secondary may answer a pile of
+        requests for one sequence with a single TTL-scoped re-multicast
+        (§2.2.1) — correct when its requesters share its site LAN.
+        Interior hubs in a k-level tree (DESIGN §11) serve *remote*
+        site loggers, which a site-scoped multicast can never reach;
+        they are built with False and always unicast repairs.
     parse_token:
         Converts a wire address token back into an :class:`Address`
         (used for the membership list a PROMOTE packet carries).  The
@@ -104,6 +111,7 @@ class LogServer(ProtocolMachine):
         source: Address | None = None,
         replicas: tuple[Address, ...] = (),
         level: int = 1,
+        site_scoped_repairs: bool = True,
         rng: random.Random | None = None,
         spool_path: str | None = None,
         parse_token=None,
@@ -126,6 +134,9 @@ class LogServer(ProtocolMachine):
         # the two-attribute hops are baked into locals up front.
         self._lifetime = log_cfg.packet_lifetime
         self._is_secondary = role is LoggerRole.SECONDARY
+        # Site-scoped re-multicast is only ever a win when the server's
+        # requesters sit on its own LAN (see the class docstring).
+        self._serve_local = self._is_secondary and site_scoped_repairs
         self.log = PacketLog(
             max_packets=log_cfg.max_packets,
             max_bytes=log_cfg.max_bytes,
@@ -136,6 +147,12 @@ class LogServer(ProtocolMachine):
         # (PacketLog mutates this OrderedDict in place, never rebinds).
         self._log_entries = self.log._entries
         self.tracker = SequenceTracker()
+        if role is LoggerRole.REPLICA:
+            # The replication stream covers the whole log from seq 1, so
+            # a replica observing seq k first genuinely misses 1..k-1 —
+            # it must not adopt the receiver-style mid-stream baseline
+            # and report a contiguous prefix it does not hold.
+            self.tracker.expect_from(1)
         self._site_requests = SiteRequestTracker(log_cfg)
         # seq -> requesters waiting for a packet we do not hold yet.
         self._pending: dict[int, set[Address]] = {}
@@ -424,7 +441,7 @@ class LogServer(ProtocolMachine):
         # own site; a primary's requesters are on other sites, beyond any
         # site-local scope, so it always unicasts (group-wide re-multicast
         # is the source's statistical-ack decision, §2.3.2).
-        multicast_now = self._is_secondary and self._site_requests.record(
+        multicast_now = self._serve_local and self._site_requests.record(
             seq, requester, now, bool(self._self_lost) and seq in self._self_lost
         )
         if multicast_now:
@@ -455,7 +472,7 @@ class LogServer(ProtocolMachine):
             return []
         actions: list[Action] = []
         retrans = RetransPacket(group=self._group, seq=seq, payload=payload)
-        if self._role is LoggerRole.SECONDARY and (
+        if self._serve_local and (
             len(waiting) >= self._config.logger.remulticast_threshold or seq in self._self_lost
         ):
             self.stats["retrans_multicast"] += 1
@@ -552,6 +569,10 @@ class LogServer(ProtocolMachine):
         if self._replication is None:
             return []
         cum = 0 if packet.cum_seq == _NO_SEQ else packet.cum_seq
+        # A cumulative ACK below the recorded watermark means the
+        # follower restarted with an empty log; reset its state so the
+        # backfill below re-replicates the vanished prefix.
+        self._replication.note_regression(src, cum, now, epoch=packet.log_epoch)
         grew = self._replication.on_ack(src, cum, now, epoch=packet.log_epoch)
         actions: list[Action] = []
         # Catch-up path: a follower behind the log's own prefix (freshly
@@ -617,6 +638,42 @@ class LogServer(ProtocolMachine):
     def _cum_seq(self) -> int:
         cum = self.primary_seq
         return cum if cum > 0 else _NO_SEQ
+
+    # -- fault injection ----------------------------------------------------
+
+    def wipe_restart(self, now: float) -> None:
+        """Simulate a crash + restart with **empty** durable state.
+
+        Everything this server held vanishes: the packet log, sequence
+        tracking, the learned commit point and epoch, and all transient
+        repair bookkeeping.  The role is kept (a restarted replica
+        rejoins as a replica).  The next acknowledgement it emits
+        reports "nothing held", which is what lets the primary detect
+        the regression (:meth:`ReplicationManager.note_regression`),
+        re-adopt it with fresh state, and backfill the vanished prefix.
+        """
+        log_cfg = self._config.logger
+        self.log = PacketLog(
+            max_packets=log_cfg.max_packets,
+            max_bytes=log_cfg.max_bytes,
+            lifetime=log_cfg.packet_lifetime,
+        )
+        self._log_entries = self.log._entries
+        self.tracker = SequenceTracker()
+        if self._role is not LoggerRole.SECONDARY:
+            self.tracker.expect_from(1)
+        self._site_requests = SiteRequestTracker(log_cfg)
+        self._pending.clear()
+        self._retrans_memo.clear()
+        self._unicast_memo.clear()
+        self._upstream_retries.clear()
+        self._self_lost.clear()
+        self._acking_epochs.clear()
+        self._commit_learned = 0
+        self._log_epoch = 1 if self._role is LoggerRole.PRIMARY else 0
+        self._obs_log_packets.set(0)
+        self._obs_log_bytes.set(0)
+        self._trace.emit(now, "logger.wiped", node=self._addr_token)
 
     # -- timers ----------------------------------------------------------
 

@@ -82,6 +82,7 @@ class ReplicationManager:
             "acks_received": 0,
             "stale_epoch_acks": 0,
             "members_adopted": 0,
+            "members_readopted": 0,
             "backfills": 0,
         }
 
@@ -133,12 +134,50 @@ class ReplicationManager:
         progress is unknown until its first acknowledgement arrives;
         until then it holds the commit point at 0, which is exactly the
         conservative behaviour the release gate needs.
+
+        Re-adopting a member that already carries progress (a recorded
+        ACK or in-flight updates) resets it to a fresh
+        :class:`FollowerState`: the carried-over watermark belongs to a
+        previous incarnation of the follower, and trusting it would
+        both inflate the commit point and make :meth:`missing_for` skip
+        the prefix the restarted follower no longer holds.
         """
-        if member in self._members:
+        state = self._members.get(member)
+        if state is not None:
+            if state.acked is None and not state.outstanding:
+                return False
+            self._reset_member(member)
             return False
         self._members[member] = FollowerState(adopted=True)
         self.stats["members_adopted"] += 1
         return True
+
+    def note_regression(self, replica: Address, cum_seq: int, now: float, epoch: int = 0) -> bool:
+        """Detect a follower whose cumulative ACK went *backwards*.
+
+        Acknowledgements are cumulative and monotone, so a report
+        strictly below the recorded watermark means the follower lost
+        its log (crash + restart with empty state).  The stale
+        :class:`FollowerState` is replaced with a fresh adopted one so
+        the commit point stops counting the vanished prefix and the
+        backfill path re-replicates it.  Returns True when a reset
+        happened.  Acks from a foreign epoch are ignored here exactly
+        as :meth:`on_ack` ignores them.
+        """
+        state = self._members.get(replica)
+        if state is None or state.acked is None:
+            return False
+        if epoch and epoch != self._epoch:
+            return False
+        if cum_seq >= state.acked:
+            return False
+        self._reset_member(replica)
+        return True
+
+    def _reset_member(self, member: Address) -> None:
+        self._members[member] = FollowerState(adopted=True)
+        self.timers.cancel(("repl_retry", member))
+        self.stats["members_readopted"] += 1
 
     # -- operations ----------------------------------------------------------
 

@@ -93,6 +93,24 @@ class SequenceTracker:
         """
         return self._first
 
+    def expect_from(self, seq: int = 1) -> None:
+        """Declare the stream's base before any observation.
+
+        A tracker primed with ``expect_from(1)`` treats the whole
+        sequence space as owed: the first observed packet reports
+        everything from ``seq`` up to it as missing, instead of the
+        default mid-stream-joiner baseline.  Log replicas use this —
+        the replication stream covers the entire log, so a replica
+        whose first observation is ``k`` genuinely misses ``1..k-1``
+        (e.g. after a restart from empty state) and must not report a
+        contiguous prefix it does not hold.  No-op once started.
+        """
+        if seq <= 0:
+            raise ValueError(f"sequence numbers start at 1, got {seq}")
+        if self._first == 0:
+            self._first = seq
+            self._highest = seq - 1
+
     def observe_data(self, seq: int) -> GapReport:
         """Record arrival of data (or retransmission) with sequence ``seq``.
 

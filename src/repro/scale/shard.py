@@ -79,9 +79,14 @@ class ScaleScenario:
     warmup: float = 0.2
     drain: float = 2.0
     bursts: tuple[tuple[float, int, float], ...] = ()
-    # Test hook: the named shard calls os._exit at its first barrier,
-    # exercising the parent's crash-vs-hang handling.
+    # Test hooks for the parent's crash-vs-hang handling.  The named
+    # shard calls os._exit at its first barrier (mid-window death),
+    # dies on receiving ("finish",) instead of reporting (death during
+    # the barrier merge), or reports and then refuses to exit
+    # (exercises the post-report join timeout).
     debug_crash_shard: int | None = None
+    debug_crash_at_finish: int | None = None
+    debug_hang_at_exit: int | None = None
 
     @property
     def end_time(self) -> float:
@@ -191,7 +196,12 @@ def _worker_main(conn: Connection, scenario: ScaleScenario, shard: int, n_shards
                 run.advance_to(msg[1])
                 conn.send(("at", msg[1]))
             elif msg[0] == "finish":
+                if scenario.debug_crash_at_finish == shard:
+                    os._exit(3)
                 conn.send(("report", run.report()))
+                if scenario.debug_hang_at_exit == shard:
+                    while True:  # pragma: no branch - killed by the parent
+                        time.sleep(60)
                 return
             else:  # pragma: no cover - protocol future-proofing
                 raise RuntimeError(f"unknown shard message {msg!r}")
@@ -203,6 +213,23 @@ def _worker_main(conn: Connection, scenario: ScaleScenario, shard: int, n_shards
         except OSError:  # pragma: no cover - pipe already closed
             pass
         os._exit(1)
+
+
+def _post(conn: Connection, proc, payload, what: str) -> None:
+    """Send one command to a worker, failing cleanly if it already died.
+
+    A worker that exited between barriers closes its pipe end, so the
+    parent's next ``send`` raises ``BrokenPipeError`` — surface that as
+    :class:`ShardWorkerError` (with the exit code) instead of letting a
+    raw OSError escape the run.
+    """
+    try:
+        conn.send(payload)
+    except OSError as exc:
+        proc.join(timeout=5.0)
+        raise ShardWorkerError(
+            f"shard worker pipe closed (exit code {proc.exitcode}) during {what}"
+        ) from exc
 
 
 def _await(conn: Connection, proc, timeout: float, what: str):
@@ -365,16 +392,23 @@ def run_sharded(
         for conn, proc in zip(conns, procs):
             _await(conn, proc, timeout, "startup")
         for t in barriers:
-            for conn in conns:
-                conn.send(("advance", t))
+            for conn, proc in zip(conns, procs):
+                _post(conn, proc, ("advance", t), f"barrier t={t:.3f}")
             for conn, proc in zip(conns, procs):
                 _await(conn, proc, timeout, f"barrier t={t:.3f}")
+        for conn, proc in zip(conns, procs):
+            _post(conn, proc, ("finish",), "final report")
         reports = []
         for conn, proc in zip(conns, procs):
-            conn.send(("finish",))
             reports.append(_await(conn, proc, timeout, "final report")[1])
         for proc in procs:
             proc.join(timeout=timeout)
+            if proc.is_alive():
+                # A worker that reported but won't exit would otherwise
+                # be silently terminated below — a hang is a failure.
+                raise ShardWorkerError(
+                    f"shard worker still alive {timeout}s after its final report"
+                )
     finally:
         for proc in procs:
             if proc.is_alive():

@@ -14,10 +14,13 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.core.config import LbrmConfig
+from repro.core.errors import ConfigError
+from repro.core.hierarchy import build_tree
 from repro.core.logger import LoggerRole, LogServer
 from repro.core.receiver import LbrmReceiver
 from repro.core.sender import LbrmSender
 from repro.simnet.engine import Simulator
+from repro.simnet.hierarchy import HierarchyRuntime
 from repro.simnet.node import SimNode
 from repro.simnet.rng import RngStreams
 from repro.simnet.topology import Network, Site
@@ -51,6 +54,16 @@ class DeploymentSpec:
     # every `region_size` consecutive sites share a *regional* logger
     # that site loggers call back to, and only regions NACK the primary.
     region_size: int = 0
+    # DESIGN §11: arbitrary-depth logger tree.  ``depth`` counts logger
+    # levels including the primary (0) and the site loggers (depth-1);
+    # depth=2 is the paper's flat layout and leaves behaviour untouched.
+    # depth>=3 inserts makespan-aware interior hubs ("hub{level}-{k}-
+    # logger") between the site loggers and the primary, maintained at
+    # runtime by :class:`~repro.simnet.hierarchy.HierarchyRuntime`
+    # (re-scoring, saturation/crash re-parenting).  ``fanout`` bounds
+    # children per interior logger.
+    depth: int = 2
+    fanout: int = 8
     enable_statack: bool = False
     config: LbrmConfig = field(default_factory=LbrmConfig)
     seed: int = 0
@@ -80,14 +93,27 @@ class LbrmDeployment:
         self.site_logger_nodes: list[SimNode] = []
         self.regional_loggers: list[LogServer] = []
         self.regional_logger_nodes: list[SimNode] = []
+        self.interior_loggers: list[LogServer] = []
+        self.interior_logger_nodes: list[SimNode] = []
         self.receivers: list[LbrmReceiver] = []
         self.receiver_nodes: list[SimNode] = []
+        self.hierarchy: HierarchyRuntime | None = None
         self._build()
 
     # -- construction ----------------------------------------------------
 
     def _build(self) -> None:
         spec = self.spec
+        if spec.depth < 2:
+            raise ConfigError(f"tree depth must be >= 2 (root + site loggers), got {spec.depth}")
+        if spec.depth > 2:
+            if not spec.secondary_loggers:
+                raise ConfigError("depth > 2 requires secondary_loggers")
+            if spec.region_size > 0:
+                raise ConfigError(
+                    "depth/fanout and the legacy region_size knob are exclusive; "
+                    "use depth=3 instead of region_size"
+                )
         self.source_site = self._add_site("site0")
         source_host = self.network.add_host("source", self.source_site)
         primary_host = self.network.add_host("primary", self.source_site)
@@ -130,6 +156,10 @@ class LbrmDeployment:
             rng=self.streams.stream("sender"),
         )
         self.source_node = SimNode(self.network, source_host, [self.sender])
+
+        if spec.depth > 2:
+            self._build_deep()
+            return
 
         for i in range(1, spec.n_sites + 1):
             site = self._add_site(f"site{i}")
@@ -192,6 +222,92 @@ class LbrmDeployment:
                 self.receivers.append(receiver)
                 self.receiver_nodes.append(SimNode(self.network, rx_host, [receiver]))
 
+    def _build_deep(self) -> None:
+        """depth >= 3: site loggers under makespan-managed interior hubs.
+
+        The initial tree is the balanced contiguous construction of
+        :func:`~repro.core.hierarchy.build_tree`; each hub is hosted at
+        the site of its first descendant leaf (a hub is an ordinary
+        SECONDARY log server — it logs off the multicast group, serves
+        its children's NACKs, and escalates its own holes to its tree
+        parent).  :class:`HierarchyRuntime` then re-scores the tree at
+        runtime from measured per-link RTT/loss.
+        """
+        spec = self.spec
+        leaf_names = [f"site{i}-logger" for i in range(1, spec.n_sites + 1)]
+        tree = build_tree("primary", leaf_names, depth=spec.depth, fanout=spec.fanout)
+        site_of: dict[str, str] = {"primary": "site0"}
+        receivers_by_leaf: dict[str, list[LbrmReceiver]] = {}
+        for i in range(1, spec.n_sites + 1):
+            site = self._add_site(f"site{i}")
+            self.receiver_sites.append(site)
+            leaf = f"site{i}-logger"
+            site_of[leaf] = f"site{i}"
+            logger_host = self.network.add_host(leaf, site)
+            logger = LogServer(
+                spec.group,
+                addr_token=leaf,
+                config=spec.config,
+                role=LoggerRole.SECONDARY,
+                parent=tree.parent(leaf),
+                source="source",
+                level=spec.depth - 1,
+                rng=self.streams.stream(f"logger:{leaf}"),
+            )
+            self.site_loggers.append(logger)
+            self.site_logger_nodes.append(SimNode(self.network, logger_host, [logger]))
+            chain = tree.chain(leaf)
+            receivers_by_leaf[leaf] = []
+            for j in range(spec.receivers_per_site):
+                rx_name = f"site{i}-rx{j}"
+                rx_host = self.network.add_host(rx_name, site)
+                receiver = LbrmReceiver(
+                    spec.group,
+                    spec.config.receiver,
+                    logger_chain=chain,
+                    source="source",
+                    heartbeat=spec.config.heartbeat,
+                )
+                self.receivers.append(receiver)
+                self.receiver_nodes.append(SimNode(self.network, rx_host, [receiver]))
+                receivers_by_leaf[leaf].append(receiver)
+
+        def leaf_index(name: str) -> int:
+            return int(name[len("site"): name.index("-")])
+
+        for level in range(1, spec.depth - 1):
+            for name in tree.at_level(level):
+                leaves_below = [
+                    n for n in tree.subtree(name) if tree.level(n) == spec.depth - 1
+                ]
+                anchor = min(leaves_below, key=leaf_index)
+                site_of[name] = site_of[anchor]
+                hub_host = self.network.add_host(name, self.network.site(site_of[name]))
+                hub = LogServer(
+                    spec.group,
+                    addr_token=name,
+                    config=spec.config,
+                    role=LoggerRole.SECONDARY,
+                    parent=tree.parent(name),
+                    source="source",
+                    level=level,
+                    # A hub's repair clients are remote site loggers; a
+                    # TTL-scoped re-multicast could never reach them.
+                    site_scoped_repairs=False,
+                    rng=self.streams.stream(f"logger:{name}"),
+                )
+                self.interior_loggers.append(hub)
+                self.interior_logger_nodes.append(SimNode(self.network, hub_host, [hub]))
+
+        self.hierarchy = HierarchyRuntime(
+            self,
+            tree,
+            config=spec.config.hierarchy,
+            fanout=spec.fanout,
+            site_of=site_of,
+            receivers_by_leaf=receivers_by_leaf,
+        )
+
     def _add_site(self, name: str) -> Site:
         spec = self.spec
         return self.network.add_site(
@@ -206,6 +322,8 @@ class LbrmDeployment:
 
     def start(self) -> None:
         """Start every node (group joins, watchdogs, statack bootstrap)."""
+        if self.hierarchy is not None and not self.hierarchy.installed:
+            self.hierarchy.install()
         for node in self.all_nodes():
             node.start()
 
@@ -222,6 +340,7 @@ class LbrmDeployment:
             nodes.append(self.primary_node)
         nodes.extend(self.replica_nodes)
         nodes.extend(self.regional_logger_nodes)
+        nodes.extend(self.interior_logger_nodes)
         nodes.extend(self.site_logger_nodes)
         nodes.extend(self.receiver_nodes)
         if self.source_node is not None:

@@ -112,6 +112,47 @@ def test_sweep_detects_broken_replication():
     assert "failover-stall" in kinds
 
 
+def test_follower_restart_readoption_and_backfill():
+    """A follower that restarts empty mid-stream is detected via its
+    regressed ACK, re-adopted with fresh state, and backfilled — the
+    manager's watermark must never exceed what the follower actually
+    holds (the stale-FollowerState bug kept the old watermark, which
+    both inflated the commit point and starved the backfill)."""
+    from repro.simnet.deploy import DeploymentSpec, LbrmDeployment
+
+    config = sweep_config(min_replicas_acked=2)
+    dep = LbrmDeployment(DeploymentSpec(
+        n_sites=1, receivers_per_site=1, n_replicas=2, config=config, seed=7,
+    ))
+    dep.start()
+    for i in range(4):
+        dep.advance(0.3)
+        dep.send(f"pkt-{i}".encode())
+    dep.advance(0.5)  # replication settles
+    assert dep.primary is not None and dep.primary.replication is not None
+    mgr = dep.primary.replication
+    wiped, name = dep.replicas[0], dep.replica_nodes[0].name
+    assert mgr.acked_by(name) == dep.sender.seq  # caught up pre-wipe
+
+    wiped.wipe_restart(dep.sim.now)
+    assert wiped.primary_seq == 0
+    dep.send(b"after-restart")  # next push carries the regressed ACK back
+    dep.advance(2.0)
+
+    assert mgr.stats["members_readopted"] == 1
+    assert wiped.primary_seq == dep.sender.seq  # vanished prefix backfilled
+    assert mgr.acked_by(name) == wiped.primary_seq  # watermark is honest
+
+
+def test_readopt_sweep_is_clean():
+    """Every crash point survives a follower wipe-restart mid-stream:
+    re-adoption and backfill keep I1–I6 green on both engines."""
+    report = run_sweep_campaign(0, tier="micro", engines=("fast", "reference"), readopt=True)
+    assert report["sweep"]["readopt"] is True
+    assert report["sweep"]["shape"]["n_replicas"] >= 2
+    _assert_clean(report)
+
+
 @pytest.mark.slow
 def test_full_sweep_is_clean():
     report = run_sweep_campaign(0, tier="full", engines=("fast", "reference"))

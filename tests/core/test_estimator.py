@@ -43,16 +43,37 @@ class TestEwma:
 
 
 class TestTWait:
+    def test_first_measurement_replaces_seed(self):
+        """The configured initial is a guess; the first measured RTT
+        replaces it outright instead of being EWMA-blended into it."""
+        t = TWaitEstimator(alpha=0.125, initial=0.1)
+        t.record_last_ack(0.18)
+        assert t.t_wait == pytest.approx(0.18)
+
     def test_paper_formula(self):
         t = TWaitEstimator(alpha=0.125, initial=0.1)
+        t.record_last_ack(0.1)  # bootstrap measurement = the seed value
         t.record_last_ack(0.18)
         assert t.t_wait == pytest.approx(0.125 * 0.18 + 0.875 * 0.1)
 
     def test_sample_capped_at_twice_t_wait(self):
         """"up to time 2×t_wait" — a huge outlier contributes the cap."""
         t = TWaitEstimator(alpha=0.5, initial=0.1)
+        t.record_last_ack(0.1)
         t.record_last_ack(100.0)
         assert t.t_wait == pytest.approx(0.5 * 0.2 + 0.5 * 0.1)
+
+    def test_first_sample_capped_by_seeded_window(self):
+        """Even the bootstrap replacement honours the 2×t_wait cap."""
+        t = TWaitEstimator(alpha=0.125, initial=0.1)
+        t.record_last_ack(100.0)
+        assert t.t_wait == pytest.approx(0.2)
+
+    def test_zero_first_sample_keeps_window_positive(self):
+        t = TWaitEstimator(initial=0.1)
+        t.record_last_ack(0.0)
+        assert t.t_wait > 0.0
+        assert t.cap > 0.0
 
     def test_rejects_negative_sample(self):
         t = TWaitEstimator()
@@ -193,9 +214,35 @@ class TestTWaitWiden:
 
     def test_decay_is_geometric(self):
         t = TWaitEstimator(initial=0.1)
+        t.record_last_ack(0.1)  # bootstrap: decay applies to later samples
         t.widen(4.0)
         t.record_last_ack(0.1)
         assert t.boost == pytest.approx(1.0 + 3.0 * 0.5)
+
+    def test_widen_before_first_measurement_is_a_search_not_evidence(self):
+        """A pre-measurement widen() loop (Acker Selection kept coming up
+        empty) inflates the guess so an ACK can finally arrive — but once
+        one does, the measurement wins outright: no residual boost, no
+        seed bias left in the EWMA."""
+        t = TWaitEstimator(alpha=0.125, initial=0.01, max_widen=16.0)
+        for _ in range(10):
+            t.widen(2.0)
+        assert t.boost == pytest.approx(16.0)
+        t.record_last_ack(0.12)  # true RTT, well inside the widened window
+        assert t.base == pytest.approx(0.12)
+        assert t.boost == pytest.approx(1.0)
+        assert t.t_wait == pytest.approx(0.12)
+
+    def test_decay_never_undercuts_fresh_evidence(self):
+        """The boost halves per sample, but t_wait must still cover the
+        (capped) arrival time just folded in — otherwise the very next
+        collection window is a guaranteed miss."""
+        t = TWaitEstimator(alpha=0.125, initial=0.1, max_widen=16.0)
+        t.record_last_ack(0.1)
+        t.widen(8.0)  # loss episode: window now 0.8
+        last = t.record_last_ack(0.75)  # last ACK genuinely arrived at 0.75
+        assert last >= 0.75
+        assert t.boost <= 16.0
 
     def test_rejects_bad_config(self):
         with pytest.raises(ConfigError):

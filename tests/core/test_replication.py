@@ -151,3 +151,66 @@ def test_replicate_to_skips_outstanding_entries():
     assert updates(first) and mgr.stats["backfills"] == 1
     again = mgr.replicate_to("r0", 1, b"a", 0.1)
     assert updates(again) == []  # already in flight, pacing holds
+
+
+# -- re-adoption after a follower restart ---------------------------------
+
+
+def test_readopt_resets_stale_progress():
+    """Re-adopting a member that carries progress must start it fresh:
+    the old watermark belongs to a previous incarnation and would both
+    inflate the commit point and starve the backfill."""
+    mgr = ReplicationManager("g", ("r0",), epoch=2)
+    mgr.replicate(1, b"a", 0.0)
+    mgr.on_ack("r0", 1, 0.1, epoch=2)
+    assert mgr.commit_seq == 1
+    assert not mgr.adopt("r0", 0.2)  # not new, but reset
+    assert mgr.acked_by("r0") is None
+    assert mgr.commit_seq == 0
+    assert mgr.stats["members_readopted"] == 1
+    assert mgr.missing_for("r0", 1) == [1]  # backfill restarts from 1
+
+
+def test_readopt_cancels_pending_retries():
+    cfg = ReplicationConfig(update_retry=0.5)
+    mgr = ReplicationManager("g", ("r0",), cfg, epoch=2)
+    mgr.replicate(1, b"a", 0.0)  # outstanding, retry armed
+    assert not mgr.adopt("r0", 0.1)
+    assert mgr.stats["members_readopted"] == 1
+    # The stale entry's retry died with the old incarnation's state.
+    assert updates(mgr.poll(0.6)) == []
+    assert mgr.next_wakeup() is None
+
+
+def test_readopt_without_progress_is_inert():
+    mgr = ReplicationManager("g", (), epoch=2)
+    assert mgr.adopt("r0", 0.0)
+    assert not mgr.adopt("r0", 0.1)  # no progress yet: plain idempotence
+    assert mgr.stats["members_readopted"] == 0
+
+
+def test_note_regression_detects_restarted_follower():
+    """A cumulative ACK strictly below the watermark = the follower lost
+    its log; the manager must stop counting the vanished prefix."""
+    mgr = ReplicationManager("g", ("r0",), epoch=2)
+    mgr.replicate(1, b"a", 0.0)
+    mgr.replicate(2, b"b", 0.1)
+    mgr.on_ack("r0", 2, 0.2, epoch=2)
+    assert mgr.commit_seq == 2
+    assert mgr.note_regression("r0", 0, 0.3, epoch=2)
+    assert mgr.commit_seq == 0
+    assert mgr.acked_by("r0") is None
+    assert mgr.stats["members_readopted"] == 1
+    # The follower's next honest ACK rebuilds from its true position.
+    mgr.on_ack("r0", 0, 0.3, epoch=2)
+    assert mgr.missing_for("r0", 2) == [1, 2]
+
+
+def test_note_regression_ignores_equal_and_foreign_epoch():
+    mgr = ReplicationManager("g", ("r0",), epoch=2)
+    mgr.on_ack("r0", 3, 0.0, epoch=2)
+    assert not mgr.note_regression("r0", 3, 0.1, epoch=2)  # no regression
+    assert not mgr.note_regression("r0", 1, 0.2, epoch=1)  # foreign term
+    assert not mgr.note_regression("stranger", 0, 0.3, epoch=2)
+    assert mgr.acked_by("r0") == 3
+    assert mgr.stats["members_readopted"] == 0

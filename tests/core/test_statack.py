@@ -96,8 +96,8 @@ class TestAckTracking:
         engine.on_data_sent(1, 1.0)
         engine.handle(DataAckPacket(group="g", epoch=engine.current_epoch, seq=1), "a", 1.05)
         engine.handle(DataAckPacket(group="g", epoch=engine.current_epoch, seq=1), "b", 1.08)
-        # EWMA: 0.875*0.1 + 0.125*0.08
-        assert engine.t_wait == pytest.approx(0.875 * 0.1 + 0.125 * 0.08)
+        # First measured last-ACK time replaces the configured seed.
+        assert engine.t_wait == pytest.approx(0.08)
         _, orders = engine.poll(2.0)
         assert orders == []  # nothing outstanding
 

@@ -90,6 +90,53 @@ def test_truncated_bundle_always_raises_decode_error(pkts, data):
         P.iter_bundle(bundle[: len(bundle) - cut])
 
 
+def test_every_truncation_point_of_trailing_frame_raises():
+    """Exhaustive (not sampled) sweep over a multi-frame bundle: cutting
+    at *any* byte — mid frame body, mid the final frame's u16 length
+    prefix, or right after it — raises DecodeError.  A short final
+    length-prefix in particular must never be read as "frame of length
+    <first byte>" or silently dropped."""
+    wires = [
+        P.encode_uncached(P.ProbeReplyPacket(group="g", probe_id=i))
+        for i in range(1, 4)
+    ]
+    bundle = P.encode_bundle(wires)
+    assert P.iter_bundle(bundle)  # sanity: intact bundle parses
+    for end in range(P.BUNDLE_OVERHEAD, len(bundle)):
+        with pytest.raises(DecodeError):
+            P.iter_bundle(bundle[:end])
+
+
+def test_one_byte_final_length_prefix_raises():
+    """The sharpest trailing truncation: all but one byte of the final
+    frame's length prefix is gone, so reading a u16 there would run off
+    the buffer.  The frame-table validation must reject it eagerly."""
+    wires = [
+        P.encode_uncached(P.ProbeReplyPacket(group="g", probe_id=1)),
+        P.encode_uncached(P.ReplAckPacket(group="g", cum_seq=9)),
+    ]
+    bundle = P.encode_bundle(wires)
+    short = bundle[: len(bundle) - len(wires[-1]) - 1]  # 1 byte of u16 left
+    with pytest.raises(DecodeError, match="frame length"):
+        P.iter_bundle(short)
+
+
+@settings(max_examples=150, deadline=None)
+@given(_PACKET_LISTS, st.data())
+def test_truncated_final_packet_in_honest_frame_raises(pkts, data):
+    """A bundle whose framing is intact but whose *final datagram* was
+    truncated before bundling: iter_bundle hands the short frame over
+    (the frame table is honest about its length), and decode_from must
+    then raise — never return a partially-populated packet."""
+    wires = [P.encode_uncached(p) for p in pkts]
+    cut = data.draw(st.integers(min_value=1, max_value=len(wires[-1]) - 1))
+    wires[-1] = wires[-1][:-cut]
+    frames = P.iter_bundle(P.encode_bundle(wires))
+    assert [P.decode_from(f) for f in frames[:-1]] == pkts[:-1]
+    with pytest.raises(DecodeError):
+        P.decode_from(frames[-1])
+
+
 @settings(max_examples=150, deadline=None)
 @given(_PACKET_LISTS, st.binary(min_size=1, max_size=8))
 def test_trailing_garbage_rejected(pkts, suffix):

@@ -34,16 +34,80 @@ def test_t_wait_always_positive(samples):
         assert est.t_wait > 0
 
 
+#: Interleaved operations on a TWaitEstimator: a float is an RTT sample
+#: for record_last_ack, None is a widen() call.
+_TWAIT_OPS = st.lists(
+    st.one_of(st.none(), st.floats(min_value=0.0, max_value=1e6)),
+    min_size=1,
+    max_size=40,
+)
+
+
+@given(st.floats(min_value=1.5, max_value=32.0), _TWAIT_OPS)
+def test_boost_bounded_under_any_interleaving(max_widen, ops):
+    """boost stays in [1, max_widen] and t_wait stays positive no matter
+    how widen() calls and RTT samples interleave — including widen()
+    storms before the first measurement ever arrives."""
+    est = TWaitEstimator(alpha=0.125, initial=0.1, max_widen=max_widen)
+    for op in ops:
+        if op is None:
+            est.widen()
+        else:
+            est.record_last_ack(op)
+        assert 1.0 <= est.boost <= max_widen * (1 + 1e-9)
+        assert est.t_wait > 0
+
+
 @given(st.floats(min_value=0.01, max_value=1.0), st.lists(st.floats(min_value=0.0, max_value=1e6), min_size=1, max_size=30))
 def test_t_wait_growth_bounded_by_doubling(alpha, samples):
-    """The 2x cap means one update multiplies t_wait by at most (1+alpha)."""
+    """With no widening in play, the 2x sample cap bounds growth: the
+    bootstrap step at most doubles t_wait (replacement capped at
+    2×seed), every later update multiplies it by at most (1+alpha)."""
     est = TWaitEstimator(alpha=alpha, initial=0.1)
-    for sample in samples:
+    for i, sample in enumerate(samples):
         before = est.t_wait
         est.record_last_ack(sample)
         # Relative slack: at t_wait magnitudes around 1e4 the float error
         # of the update itself exceeds any absolute epsilon.
-        assert est.t_wait <= before * (1 + alpha) * (1 + 1e-9) + 1e-12
+        bound = 2.0 if i == 0 else (1 + alpha)
+        assert est.t_wait <= before * bound * (1 + 1e-9) + 1e-12
+
+
+@given(st.floats(min_value=1.5, max_value=32.0), _TWAIT_OPS.filter(lambda ops: any(op is not None for op in ops)))
+def test_decay_never_undercuts_recorded_evidence(max_widen, ops):
+    """While a widening episode decays, folding in a sample leaves the
+    window covering the (capped) arrival time just observed — unless
+    honouring it would breach the max_widen safety bound, which always
+    takes precedence.  (Steady state, boost == 1, is the pure EWMA.)"""
+    est = TWaitEstimator(alpha=0.125, initial=0.1, max_widen=max_widen)
+    for op in ops:
+        if op is None:
+            est.widen()
+            continue
+        decaying = est.boost > 1.0
+        capped = min(op, est.cap)
+        est.record_last_ack(op)
+        if decaying:
+            assert est.t_wait >= min(capped, est.base * max_widen) - 1e-9
+
+
+@given(
+    st.floats(min_value=0.001, max_value=10.0),
+    st.integers(min_value=0, max_value=20),
+    st.floats(min_value=0.0, max_value=1e3),
+)
+def test_first_measurement_replaces_seed(initial, widens, rtt):
+    """However the seed was widened beforehand, the first real sample
+    becomes the base outright (capped, floored at a positive epsilon)
+    and clears the boost."""
+    est = TWaitEstimator(alpha=0.125, initial=initial, max_widen=16.0)
+    for _ in range(widens):
+        est.widen()
+    cap_before = est.cap
+    est.record_last_ack(rtt)
+    assert est.boost == 1.0
+    assert est.base == pytest.approx(max(min(rtt, cap_before), 1e-6))
+    assert est.t_wait > 0
 
 
 @settings(max_examples=25, deadline=None)

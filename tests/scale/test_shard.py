@@ -102,6 +102,45 @@ class TestWorkerFailure:
             run_sharded(scenario, n_shards=2, timeout=30.0)
         assert "exited" in str(excinfo.value)
 
+    def test_worker_death_at_barrier_merge_raises(self):
+        """Death at the final barrier — the worker acks every window but
+        dies on ("finish",) instead of reporting — must surface as
+        ShardWorkerError, not block siblings on the pipe."""
+        scenario = _scenario(debug_crash_at_finish=1)
+        with pytest.raises(ShardWorkerError) as excinfo:
+            run_sharded(scenario, n_shards=2, timeout=30.0)
+        assert "final report" in str(excinfo.value)
+
+    def test_worker_hanging_after_report_raises(self):
+        """A worker that reports but never exits is a failure, not
+        something for the teardown path to silently terminate."""
+        scenario = _scenario(debug_hang_at_exit=0)
+        with pytest.raises(ShardWorkerError) as excinfo:
+            run_sharded(scenario, n_shards=2, timeout=3.0)
+        assert "still alive" in str(excinfo.value)
+
+    def test_send_to_dead_worker_is_shard_error(self):
+        """The parent's command send to an already-dead worker converts
+        the BrokenPipeError into ShardWorkerError with the exit code."""
+        import multiprocessing
+
+        from repro.scale.shard import _post
+
+        class _DeadProc:
+            exitcode = 3
+
+            def join(self, timeout=None):
+                pass
+
+        parent, child = multiprocessing.Pipe()
+        child.close()
+        try:
+            with pytest.raises(ShardWorkerError) as excinfo:
+                _post(parent, _DeadProc(), ("advance", 1.0), "barrier t=1.000")
+        finally:
+            parent.close()
+        assert "exit code 3" in str(excinfo.value)
+
     def test_validation(self):
         with pytest.raises(ValueError):
             run_sharded(_scenario(), n_shards=0)
